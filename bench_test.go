@@ -1,0 +1,417 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per figure
+// and table (Figs. 9-12, Examples 1/3) plus the DESIGN.md ablations and
+// micro-benchmarks of the substrates.
+//
+// The figure benchmarks run the calibrated cluster simulation at 1/16 of
+// the paper's k extent per iteration so `go test -bench=.` stays fast; pass
+// -fullscale to run the paper's exact spaces (cmd/tilebench always runs
+// full scale). Key reproduction metrics are attached via b.ReportMetric:
+//
+//	improvement_pct — 1 − t_overlap/t_blocking at the benchmark's V
+//	model_err_pct   — |analytic − simulated| / simulated (theory column)
+package repro
+
+import (
+	"flag"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/experiments"
+	"repro/internal/ilmath"
+	"repro/internal/model"
+	"repro/internal/mp"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+var fullScale = flag.Bool("fullscale", false, "run figure benchmarks on the paper's full-size spaces")
+
+// figGrid returns the benchmark variant of a figure's space and a
+// representative near-optimal tile height.
+func figGrid(s experiments.Sweep, vOpt int64) (model.Grid3D, int64) {
+	g := s.Grid
+	v := vOpt
+	if !*fullScale {
+		g.K /= 16
+		v = vOpt / 16
+		if v < 4 {
+			v = 4
+		}
+	}
+	return g, v
+}
+
+// benchFigure simulates one (blocking, overlapped) pair per iteration and
+// reports the improvement and the analytic-model error.
+func benchFigure(b *testing.B, s experiments.Sweep, paperVOpt int64) {
+	g, v := figGrid(s, paperVOpt)
+	m := s.Machine
+	var ov, bl, theory float64
+	for i := 0; i < b.N; i++ {
+		rOv, err := sim.SimulateGrid(g, v, m, sim.Overlapped, sim.CapDMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rBl, err := sim.SimulateGrid(g, v, m, sim.Blocking, sim.CapNone)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ov, bl = rOv.Makespan, rBl.Makespan
+		theory = g.PredictOverlap(v, m)
+	}
+	b.ReportMetric(100*(1-ov/bl), "improvement_pct")
+	b.ReportMetric(100*abs(theory-ov)/ov, "model_err_pct")
+	b.ReportMetric(ov, "t_overlap_s")
+	b.ReportMetric(bl, "t_blocking_s")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (16×16×16384, V near the paper's 444).
+func BenchmarkFig9(b *testing.B) { benchFigure(b, experiments.Fig9(), 444) }
+
+// BenchmarkFig10 regenerates Fig. 10 (16×16×32768, V near the paper's 538).
+func BenchmarkFig10(b *testing.B) { benchFigure(b, experiments.Fig10(), 538) }
+
+// BenchmarkFig11 regenerates Fig. 11 (32×32×4096, V near the paper's 164).
+func BenchmarkFig11(b *testing.B) { benchFigure(b, experiments.Fig11(), 164) }
+
+// BenchmarkFig12 regenerates one column of the Fig. 12 table per iteration:
+// the full optimum search (ladder + refinement) for both schedules on the
+// scaled space, reporting the improvement at the optima.
+func BenchmarkFig12(b *testing.B) {
+	s := experiments.Fig9()
+	if !*fullScale {
+		s.Grid.K /= 16
+		s.Heights = experiments.Ladder(4, s.Grid.K/4)
+	}
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		vOv, tOv, err := s.Optimum(sim.Overlapped)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, tBl, err := s.Optimum(sim.Blocking)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = vOv
+		imp = 100 * (1 - tOv/tBl)
+	}
+	b.ReportMetric(imp, "improvement_pct")
+}
+
+// BenchmarkExample1Model evaluates the paper's Example 1 closed form
+// (eq. 3 walk-through; the result is asserted in internal/model tests).
+func BenchmarkExample1Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Example1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExample3Model evaluates the paper's Example 3 closed form.
+func BenchmarkExample3Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Example3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCapability measures the overlap-capability ablation
+// (Fig. 3a/b/c): how much each hardware level buys at a fixed tile height.
+func BenchmarkAblationCapability(b *testing.B) {
+	a := experiments.CapabilityAblation{
+		Grid:    model.Grid3D{I: 16, J: 16, K: 1024, PI: 4, PJ: 4},
+		V:       64,
+		Machine: model.PentiumCluster(),
+	}
+	var r experiments.CapabilityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(1-r.DMA/r.Blocking), "dma_improvement_pct")
+	b.ReportMetric(100*(1-r.FullDuplex/r.Blocking), "duplex_improvement_pct")
+	b.ReportMetric(100*(1-r.NoDMA/r.Blocking), "nodma_improvement_pct")
+}
+
+// BenchmarkAblationMapping measures the mapping-dimension ablation: the
+// paper's largest-dimension mapping versus the two alternatives.
+func BenchmarkAblationMapping(b *testing.B) {
+	a := experiments.MappingAblation{
+		SpaceSizes: []int64{8, 8, 512},
+		TileSides:  ilmath.V(4, 4, 32),
+		Machine:    model.PentiumCluster(),
+	}
+	var rows []experiments.MappingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := rows[2].Overlap // largest-dim mapping
+	worst := rows[0].Overlap
+	if rows[1].Overlap > worst {
+		worst = rows[1].Overlap
+	}
+	b.ReportMetric(100*(1-best/worst), "mapping_gain_pct")
+}
+
+// BenchmarkAblationScheduleVector compares the two schedule vectors under
+// identical no-DMA hardware: the overlapped Π only pays off with hardware
+// support, so this isolates the schedule's contribution.
+func BenchmarkAblationScheduleVector(b *testing.B) {
+	g := model.Grid3D{I: 16, J: 16, K: 1024, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	var bl, ovNoDMA float64
+	for i := 0; i < b.N; i++ {
+		rBl, err := sim.SimulateGrid(g, 64, m, sim.Blocking, sim.CapNone)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rOv, err := sim.SimulateGrid(g, 64, m, sim.Overlapped, sim.CapNone)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl, ovNoDMA = rBl.Makespan, rOv.Makespan
+	}
+	b.ReportMetric(100*(1-ovNoDMA/bl), "schedule_only_gain_pct")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimEngine measures raw discrete-event throughput
+// (activities/second) on a pipelined two-resource graph.
+func BenchmarkSimEngine(b *testing.B) {
+	g := model.Grid3D{I: 8, J: 8, K: 512, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	var acts int
+	for i := 0; i < b.N; i++ {
+		cfg, err := sim.GridConfig(g, 8, m, sim.Overlapped, sim.CapDMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sim.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acts = r.NumTiles
+	}
+	b.ReportMetric(float64(acts), "tiles")
+}
+
+// BenchmarkMPInprocRoundTrip measures the in-process transport's
+// request-reply latency.
+func BenchmarkMPInprocRoundTrip(b *testing.B) {
+	w, comms, err := mp.NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 8)
+		for {
+			if _, err := comms[1].Recv(0, 1, buf); err != nil {
+				return
+			}
+			if err := comms[1].Send(0, 2, buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 8)
+	buf := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := comms[0].Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := comms[0].Recv(1, 2, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	w.Close()
+	<-done
+}
+
+// BenchmarkMPInprocThroughput measures bulk one-way bandwidth of the
+// in-process transport with 64 KiB messages.
+func BenchmarkMPInprocThroughput(b *testing.B) {
+	const msgSize = 64 << 10
+	w, comms, err := mp.NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, msgSize)
+		for i := 0; i < b.N; i++ {
+			if _, err := comms[1].Recv(0, 1, buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, msgSize)
+	b.SetBytes(msgSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := comms[0].Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkRunnerBlocking measures the real blocking execution (ProcB) on
+// the in-process fabric.
+func BenchmarkRunnerBlocking(b *testing.B) { benchRunner(b, runner.Blocking) }
+
+// BenchmarkRunnerOverlapped measures the real overlapped execution (ProcNB).
+func BenchmarkRunnerOverlapped(b *testing.B) { benchRunner(b, runner.Overlapped) }
+
+func benchRunner(b *testing.B, mode runner.Mode) {
+	cfg := runner.Config{
+		Grid:   model.Grid3D{I: 8, J: 8, K: 1024, PI: 2, PJ: 2},
+		V:      64,
+		Kernel: stencil.Sqrt3D{},
+		Mode:   mode,
+	}
+	points := cfg.Grid.I * cfg.Grid.J * cfg.Grid.K
+	for i := 0; i < b.N; i++ {
+		err := mp.Launch(4, func(c mp.Comm) error {
+			_, _, err := runner.Run(c, cfg)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points*int64(b.N))/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkStencilSequential measures the sequential reference kernel
+// (points/second), the baseline t_c of the machine model.
+func BenchmarkStencilSequential(b *testing.B) {
+	sp := space.MustRect(32, 32, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := stencil.RunSequential(sp, stencil.Sqrt3D{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(sp.Volume() * 8)
+}
+
+// BenchmarkAblationNetwork measures the interconnect ablation: switched
+// versus shared-bus medium at 10 Mbps-era wire speed, where bus contention
+// visibly erodes the overlap gain.
+func BenchmarkAblationNetwork(b *testing.B) {
+	m := model.PentiumCluster()
+	m.Tt = 0.8e-6 // 10 Mbps shared medium
+	a := experiments.NetworkAblation{
+		Grid:    model.Grid3D{I: 16, J: 16, K: 1024, PI: 4, PJ: 4},
+		V:       64,
+		Machine: m,
+	}
+	var r experiments.NetworkResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(1-r.OverlapSwitched/r.BlockingSwitched), "switched_gain_pct")
+	b.ReportMetric(100*(1-r.OverlapSharedBus/r.BlockingSharedBus), "bus_gain_pct")
+}
+
+// BenchmarkAblationStraggler measures both schedules' sensitivity to one
+// half-speed node.
+func BenchmarkAblationStraggler(b *testing.B) {
+	a := experiments.StragglerAblation{
+		Grid:      model.Grid3D{I: 16, J: 16, K: 1024, PI: 4, PJ: 4},
+		V:         64,
+		Machine:   model.PentiumCluster(),
+		Straggler: 5,
+		Slowdowns: []float64{0.5},
+	}
+	var rows []experiments.StragglerRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].BlockingSlowdown, "blocking_slowdown_x")
+	b.ReportMetric(rows[0].OverlapSlowdown, "overlap_slowdown_x")
+}
+
+// BenchmarkExample1Simulated runs the paper's Example 1 on the simulated
+// 100-strip cluster (the 2-D executor's message pattern), reporting how
+// close the overlapped makespan lands to the paper's headline 0.24 s.
+func BenchmarkExample1Simulated(b *testing.B) {
+	g := sim.Example1Grid2D()
+	m := model.Example1Machine()
+	var ov, bl float64
+	for i := 0; i < b.N; i++ {
+		rOv, err := g.Simulate(m, sim.Overlapped, sim.CapDMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rBl, err := g.Simulate(m, sim.Blocking, sim.CapNone)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ov, bl = rOv.Makespan, rBl.Makespan
+	}
+	b.ReportMetric(ov, "t_overlap_s")
+	b.ReportMetric(bl, "t_blocking_s")
+	b.ReportMetric(100*(1-ov/bl), "improvement_pct")
+}
+
+// BenchmarkSkewedWavefront plans and simulates the SOR wavefront problem —
+// the beyond-the-paper skewed-tiling path.
+func BenchmarkSkewedWavefront(b *testing.B) {
+	p, err := core.NewProblem(space.MustRect(240, 60),
+		deps.MustNewSet(ilmath.V(1, -1), ilmath.V(1, 0), ilmath.V(1, 1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.Example1Machine()
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		plan, err := p.PlanSkewed(ilmath.V(6, 6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		simr, err := plan.Simulate(m, sim.CapDMA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = simr.Improvement
+	}
+	b.ReportMetric(imp*100, "improvement_pct")
+}

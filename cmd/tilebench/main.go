@@ -1,0 +1,215 @@
+// Command tilebench regenerates the paper's evaluation: the tile-height
+// sweeps of Figs. 9-11, the Fig. 12 summary table, the worked Examples 1
+// and 3, and the design-choice ablations.
+//
+// Usage:
+//
+//	tilebench [-quick] [-heights n] fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|all
+//
+// -quick shrinks the iteration spaces ~16x so every experiment finishes in
+// seconds; the full-size figures take a few minutes of simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/ilmath"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+var (
+	quick  = flag.Bool("quick", false, "shrink the spaces ~16x for fast runs")
+	csvOut = flag.String("csv", "", "for fig9/fig10/fig11: also write the sweep as CSV to this file")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, id := range flag.Args() {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "tilebench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// shrink reduces a sweep's space for -quick runs.
+func shrink(s experiments.Sweep) experiments.Sweep {
+	if !*quick {
+		return s
+	}
+	s.Grid.K /= 16
+	s.Heights = experiments.Ladder(4, s.Grid.K/4)
+	s.Title += " (quick: K/16)"
+	return s
+}
+
+func run(id string) error {
+	switch id {
+	case "fig9", "fig10", "fig11":
+		var s experiments.Sweep
+		switch id {
+		case "fig9":
+			s = experiments.Fig9()
+		case "fig10":
+			s = experiments.Fig10()
+		case "fig11":
+			s = experiments.Fig11()
+		}
+		s = shrink(s)
+		rows, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Format(s, rows))
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			if err := experiments.CSV(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("(csv written to %s)\n", *csvOut)
+		}
+		vOv, tOv, err := s.Optimum(sim.Overlapped)
+		if err != nil {
+			return err
+		}
+		vBl, tBl, err := s.Optimum(sim.Blocking)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimum: overlap V=%d t=%.6fs | blocking V=%d t=%.6fs | improvement %.0f%%\n",
+			vOv, tOv, vBl, tBl, 100*(1-tOv/tBl))
+		if rep, err := experiments.CheckShape(rows); err == nil {
+			verdict := "REPRODUCED"
+			if !rep.OK() {
+				verdict = "NOT REPRODUCED"
+			}
+			fmt.Printf("shape check: overlap-always-wins=%v U-shaped(ov/bl)=%v/%v -> %s\n",
+				rep.OverlapAlwaysWins, rep.UShapedOverlap, rep.UShapedBlocking, verdict)
+		}
+		fmt.Println()
+		return nil
+	case "fig12":
+		if *quick {
+			fmt.Println("fig12 ignores -quick (the table is defined on the paper's spaces)")
+		}
+		rows, err := experiments.Fig12()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig12(rows))
+		fmt.Println()
+		return nil
+	case "ex1", "ex3":
+		out, err := experiments.Examples()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		fmt.Println()
+		return nil
+	case "ablation-cap":
+		a := experiments.CapabilityAblation{
+			Grid:    model.Grid3D{I: 16, J: 16, K: 4096, PI: 4, PJ: 4},
+			V:       256,
+			Machine: model.PentiumCluster(),
+		}
+		if *quick {
+			a.Grid.K = 512
+			a.V = 32
+		}
+		r, err := a.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCapability(a, r))
+		fmt.Println()
+		return nil
+	case "ablation-net":
+		// Use the slow shared-medium era wire speed (10 Mbps, the paper's
+		// Example 1 assumption) so bus contention is visible.
+		slow := model.PentiumCluster()
+		slow.Tt = 0.8e-6
+		a := experiments.NetworkAblation{
+			Grid:    model.Grid3D{I: 16, J: 16, K: 4096, PI: 4, PJ: 4},
+			V:       256,
+			Machine: slow,
+		}
+		if *quick {
+			a.Grid.K = 512
+			a.V = 32
+		}
+		r, err := a.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatNetwork(a, r))
+		fmt.Println()
+		return nil
+	case "ablation-map":
+		a := experiments.MappingAblation{
+			SpaceSizes: []int64{16, 16, 2048},
+			TileSides:  ilmath.V(4, 4, 64),
+			Machine:    model.PentiumCluster(),
+		}
+		if *quick {
+			a.SpaceSizes = []int64{8, 8, 256}
+			a.TileSides = ilmath.V(4, 4, 16)
+		}
+		rows, err := a.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMapping(a, rows))
+		fmt.Println()
+		return nil
+	case "ablation-straggler":
+		a := experiments.StragglerAblation{
+			Grid:      model.Grid3D{I: 16, J: 16, K: 4096, PI: 4, PJ: 4},
+			V:         256,
+			Machine:   model.PentiumCluster(),
+			Straggler: 5,
+			Slowdowns: []float64{1.0, 0.9, 0.75, 0.5, 0.25},
+		}
+		if *quick {
+			a.Grid.K = 512
+			a.V = 32
+		}
+		rows, err := a.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatStraggler(a, rows))
+		fmt.Println()
+		return nil
+	case "verify":
+		return runVerify()
+	case "all":
+		for _, sub := range []string{"verify", "ex1", "fig9", "fig10", "fig11", "fig12", "ablation-cap", "ablation-map", "ablation-net", "ablation-straggler"} {
+			if err := run(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,196 @@
+// Command tilenode runs one rank of the real message-passing stencil
+// execution over TCP — the multi-process deployment of the paper's
+// experiment. Start one process per rank (possibly on different hosts):
+//
+//	tilenode -rank 0 -addrs host0:9000,host1:9001,host2:9002,host3:9003 \
+//	         -space 8x8x1024 -procs 2x2 -v 64 -mode overlapped
+//
+// Rank 0 gathers the result, verifies it against a sequential run, and
+// prints the wall-clock comparison line.
+//
+// For a single-machine demo, -spawn launches all ranks as goroutines over
+// loopback TCP sockets (separate sockets, same code path):
+//
+//	tilenode -spawn -space 8x8x1024 -procs 2x2 -v 64 -mode overlapped
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/mp"
+	"repro/internal/runner"
+	"repro/internal/stencil"
+)
+
+var (
+	rankFlag  = flag.Int("rank", -1, "this process's rank (with -addrs)")
+	addrsFlag = flag.String("addrs", "", "comma-separated host:port per rank")
+	spawnFlag = flag.Bool("spawn", false, "run all ranks in-process over loopback TCP")
+	spaceFlag = flag.String("space", "8x8x1024", "iteration space IxJxK")
+	procsFlag = flag.String("procs", "2x2", "processor grid PIxPJ")
+	vFlag     = flag.Int64("v", 64, "tile height along k")
+	modeFlag  = flag.String("mode", "overlapped", "blocking | overlapped")
+	verify    = flag.Bool("verify", true, "rank 0 verifies against a sequential run")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tilenode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse3(s string) (a, b, c int64, err error) {
+	p := strings.Split(s, "x")
+	if len(p) != 3 {
+		return 0, 0, 0, fmt.Errorf("want IxJxK, got %q", s)
+	}
+	vs := make([]int64, 3)
+	for i := range p {
+		if vs[i], err = strconv.ParseInt(p[i], 10, 64); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return vs[0], vs[1], vs[2], nil
+}
+
+func parse2(s string) (a, b int64, err error) {
+	p := strings.Split(s, "x")
+	if len(p) != 2 {
+		return 0, 0, fmt.Errorf("want PIxPJ, got %q", s)
+	}
+	if a, err = strconv.ParseInt(p[0], 10, 64); err != nil {
+		return 0, 0, err
+	}
+	if b, err = strconv.ParseInt(p[1], 10, 64); err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func buildConfig() (runner.Config, error) {
+	i, j, k, err := parse3(*spaceFlag)
+	if err != nil {
+		return runner.Config{}, err
+	}
+	pi, pj, err := parse2(*procsFlag)
+	if err != nil {
+		return runner.Config{}, err
+	}
+	var mode runner.Mode
+	switch *modeFlag {
+	case "blocking":
+		mode = runner.Blocking
+	case "overlapped":
+		mode = runner.Overlapped
+	default:
+		return runner.Config{}, fmt.Errorf("unknown mode %q", *modeFlag)
+	}
+	return runner.Config{
+		Grid:   model.Grid3D{I: i, J: j, K: k, PI: pi, PJ: pj},
+		V:      *vFlag,
+		Kernel: stencil.Sqrt3D{},
+		Mode:   mode,
+	}, nil
+}
+
+func rankMain(c mp.Comm, cfg runner.Config) error {
+	local, stats, err := runner.Run(c, cfg)
+	if err != nil {
+		return err
+	}
+	grid, err := runner.Gather(c, cfg, local)
+	if err != nil {
+		return err
+	}
+	if c.Rank() != 0 {
+		return nil
+	}
+	fmt.Printf("mode=%s space=%s procs=%s V=%d elapsed=%v tiles=%d sent=%d msgs (%d bytes)\n",
+		cfg.Mode, *spaceFlag, *procsFlag, cfg.V, stats.Elapsed.Round(time.Microsecond),
+		stats.Tiles, stats.MsgsSent, stats.BytesSent)
+	if *verify {
+		diff, err := runner.VerifySequential(grid, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verification: max |parallel - sequential| = %g\n", diff)
+		if diff != 0 {
+			return fmt.Errorf("verification failed")
+		}
+	}
+	return nil
+}
+
+func run() error {
+	cfg, err := buildConfig()
+	if err != nil {
+		return err
+	}
+	n := int(cfg.Grid.PI * cfg.Grid.PJ)
+	if *spawnFlag {
+		addrs, err := loopbackAddrs(n)
+		if err != nil {
+			return err
+		}
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c, err := mp.ConnectTCP(rank, n, addrs, nil)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				defer c.Close()
+				errs[rank] = rankMain(c, cfg)
+			}(r)
+		}
+		wg.Wait()
+		for r, e := range errs {
+			if e != nil {
+				return fmt.Errorf("rank %d: %w", r, e)
+			}
+		}
+		return nil
+	}
+	if *rankFlag < 0 || *addrsFlag == "" {
+		return fmt.Errorf("need -spawn, or both -rank and -addrs")
+	}
+	addrs := strings.Split(*addrsFlag, ",")
+	c, err := mp.ConnectTCP(*rankFlag, n, addrs, nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return rankMain(c, cfg)
+}
+
+// loopbackAddrs reserves n free loopback ports.
+func loopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}

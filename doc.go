@@ -1,0 +1,9 @@
+// Package repro reproduces "Minimizing Completion Time for Loop Tiling with
+// Computation and Communication Overlapping" (Goumas, Sotiropoulos, Koziris;
+// IPPS 2001) as a Go library.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are under cmd/ and examples/; the
+// benchmarks in bench_test.go regenerate every figure and table of the
+// paper's evaluation (see EXPERIMENTS.md for paper-vs-measured results).
+package repro

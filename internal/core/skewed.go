@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/tiling"
+)
+
+// SkewedPlan is the planning result for dependence sets that rectangular
+// tiles cannot legally cover (negative components): a unimodular skew plus
+// parallelepiped tiles, the tiled-space structure, and a searched optimal
+// linear tile schedule. Unlike Plan it carries no machine model — the
+// skewed path is about transformation legality and schedule structure;
+// analytic timing (eqs. 3/4) assumes the uniform nearest-neighbor message
+// pattern of the rectangular case.
+type SkewedPlan struct {
+	Problem *Problem
+	Skew    *ilmath.Mat
+	Tiling  *tiling.Tiling
+
+	TileBox    *space.Space // bounding box of the tiled space
+	Tiles      []ilmath.Vec // the non-empty tiles, lexicographic
+	TileDeps   *deps.Set
+	DepVolumes []tiling.TileDepVolume
+
+	Schedule *schedule.Linear // searched optimal Π for the tiled space
+	Length   int64            // its schedule length over the bounding box
+}
+
+// PlanSkewed derives a skewed tiled execution for the problem with the
+// given tile sides (in the skewed basis).
+func (p *Problem) PlanSkewed(sides ilmath.Vec) (*SkewedPlan, error) {
+	if sides.Dim() != p.Space.Dim() {
+		return nil, fmt.Errorf("core: %d sides for %d dimensions", sides.Dim(), p.Space.Dim())
+	}
+	skew, err := tiling.SkewingFor(p.Deps)
+	if err != nil {
+		return nil, err
+	}
+	// Grow sides until the tiles contain every skewed dependence.
+	grown := sides.Clone()
+	var tl *tiling.Tiling
+	for {
+		tl, err = tiling.SkewedRectangular(p.Deps, grown...)
+		if err != nil {
+			return nil, err
+		}
+		if tl.ContainsDeps(p.Deps) {
+			break
+		}
+		mx := skew.Mul(p.Deps.Matrix())
+		changed := false
+		for i := range grown {
+			for c := 0; c < mx.Cols; c++ {
+				if mx.At(i, c) >= grown[i] {
+					grown[i] = mx.At(i, c) + 1
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil, fmt.Errorf("core: cannot grow tiles to contain dependences")
+		}
+	}
+	box, err := tl.TileSpaceBounds(p.Space)
+	if err != nil {
+		return nil, err
+	}
+	tiles, err := tl.NonEmptyTiles(p.Space)
+	if err != nil {
+		return nil, err
+	}
+	td, err := tl.TileDeps(p.Deps)
+	if err != nil {
+		return nil, err
+	}
+	dv, err := tl.TileDepVolumes(p.Deps)
+	if err != nil {
+		return nil, err
+	}
+	lin, length, err := schedule.OptimalLinear(box, td, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &SkewedPlan{
+		Problem:    p,
+		Skew:       skew,
+		Tiling:     tl,
+		TileBox:    box,
+		Tiles:      tiles,
+		TileDeps:   td,
+		DepVolumes: dv,
+		Schedule:   lin,
+		Length:     length,
+	}, nil
+}
+
+// CheckLegalOrder verifies (exhaustively, point by point) that both the
+// sequential tiled order and the scheduled wavefront order are legal
+// reorderings of the original loop nest. Intended for moderate spaces.
+func (sp *SkewedPlan) CheckLegalOrder() error {
+	if err := codegen.CheckOrder(sp.Problem.Space, sp.Problem.Deps, func(visit func(ilmath.Vec)) error {
+		return codegen.TiledOrder(sp.Problem.Space, sp.Tiling, func(j ilmath.Vec) { visit(j.Clone()) })
+	}); err != nil {
+		return fmt.Errorf("core: tiled order: %w", err)
+	}
+	if err := codegen.CheckOrder(sp.Problem.Space, sp.Problem.Deps, func(visit func(ilmath.Vec)) error {
+		return codegen.WavefrontOrder(sp.Problem.Space, sp.Tiling, sp.Schedule, sp.TileDeps,
+			func(j ilmath.Vec) { visit(j.Clone()) })
+	}); err != nil {
+		return fmt.Errorf("core: wavefront order: %w", err)
+	}
+	return nil
+}
+
+// Describe renders a human-readable summary.
+func (sp *SkewedPlan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iteration space : %v (%d points)\n", sp.Problem.Space, sp.Problem.Space.Volume())
+	fmt.Fprintf(&b, "dependences     : %v\n", sp.Problem.Deps)
+	fmt.Fprintf(&b, "skew S          :\n%v\n", sp.Skew)
+	fmt.Fprintf(&b, "tiling H        :\n%v\n", sp.Tiling.H())
+	fmt.Fprintf(&b, "tile volume     : %d\n", sp.Tiling.VolumeInt())
+	fmt.Fprintf(&b, "tiled space     : %d non-empty tiles in %v\n", len(sp.Tiles), sp.TileBox)
+	fmt.Fprintf(&b, "tiled deps      : %v\n", sp.TileDeps)
+	fmt.Fprintf(&b, "tile schedule   : %v, %d steps\n", sp.Schedule, sp.Length)
+	return b.String()
+}
+
+// Simulate runs both schedules for the skewed plan on the discrete-event
+// simulator. The tiled space is the bounding box of the skewed tiled space;
+// empty corner tiles carry zero volume and zero-byte (skipped) messages, so
+// only the real tiles cost anything. Mapping follows the largest bounding-
+// box dimension. Interior-tile transfer volumes approximate the boundary
+// pairs (clipped tiles ship slightly less in reality).
+func (sp *SkewedPlan) Simulate(m model.Machine, cap sim.Capability) (SimResult, error) {
+	if err := m.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	// Per-tile point counts (0 outside the non-empty set).
+	counts := make(map[string]int64, len(sp.Tiles))
+	for _, tc := range sp.Tiles {
+		n, err := sp.Tiling.TilePoints(sp.Problem.Space, tc, nil)
+		if err != nil {
+			return SimResult{}, err
+		}
+		counts[tc.String()] = n
+	}
+	volByDir := make(map[string]int64, len(sp.DepVolumes))
+	for _, v := range sp.DepVolumes {
+		volByDir[v.Dir.String()] = v.Points
+	}
+	mapping, err := schedule.NewMapping(sp.TileBox, sp.TileBox.LargestDim())
+	if err != nil {
+		return SimResult{}, err
+	}
+	topo := sim.Topology{
+		TileSpace:  sp.TileBox,
+		Map:        mapping,
+		TileVolume: func(tc ilmath.Vec) int64 { return counts[tc.String()] },
+		MsgBytes: func(from, to ilmath.Vec) int64 {
+			if counts[from.String()] == 0 || counts[to.String()] == 0 {
+				return 0
+			}
+			return volByDir[to.Sub(from).String()] * m.BytesPerElem
+		},
+	}
+	base := sim.Config{Topo: topo, Deps: sp.TileDeps, Machine: m}
+	blk := base
+	blk.Mode = sim.Blocking
+	blk.Cap = sim.CapNone
+	rNo, err := sim.Simulate(blk)
+	if err != nil {
+		return SimResult{}, err
+	}
+	ovl := base
+	ovl.Mode = sim.Overlapped
+	ovl.Cap = cap
+	rOv, err := sim.Simulate(ovl)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		NonOverlap:  rNo,
+		Overlap:     rOv,
+		Improvement: 1 - rOv.Makespan/rNo.Makespan,
+	}, nil
+}

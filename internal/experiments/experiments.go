@@ -1,0 +1,252 @@
+// Package experiments defines and regenerates every table and figure of the
+// paper's evaluation (Section 5): the three tile-height sweeps (Figs. 9-11),
+// the summary table (Fig. 12), the worked Examples 1 and 3, and the
+// ablations called out in DESIGN.md.
+//
+// "Experimental" numbers come from the discrete-event cluster simulator
+// calibrated to the paper's testbed (model.PentiumCluster); "theoretical"
+// numbers come from the eq. 3/4/5 analytic models — mirroring the paper's
+// experimental-vs-theoretical comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Sweep is one completion-time-vs-tile-height experiment (one figure).
+type Sweep struct {
+	ID      string
+	Title   string
+	Grid    model.Grid3D
+	Heights []int64
+	Machine model.Machine
+	Cap     sim.Capability
+}
+
+// SweepRow is one point of a sweep.
+type SweepRow struct {
+	V             int64
+	G             int64
+	OverlapSim    float64
+	BlockingSim   float64
+	OverlapModel  float64
+	BlockingModel float64
+	// Mean CPU utilization across the cluster, per schedule — the paper's
+	// Section 4 argues the overlapped schedule approaches full utilization
+	// at the right grain.
+	OverlapCPUUtil  float64
+	BlockingCPUUtil float64
+}
+
+// Ladder returns a geometric ladder of tile heights from lo to hi
+// (inclusive-ish), the sweep grid the figures use.
+func Ladder(lo, hi int64) []int64 {
+	var vs []int64
+	for v := lo; v <= hi; v *= 2 {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// Refine returns ~n heights spread multiplicatively around center within
+// [lo, hi], deduplicated and sorted, for zooming into an optimum.
+func Refine(center, lo, hi int64, n int) []int64 {
+	if n < 2 {
+		n = 2
+	}
+	seen := map[int64]bool{}
+	var vs []int64
+	for i := 0; i < n; i++ {
+		f := 0.5 + float64(i)/float64(n-1) // 0.5x .. 1.5x
+		v := int64(float64(center) * f)
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		if !seen[v] {
+			seen[v] = true
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Fig9 is the 16×16×16384 sweep.
+func Fig9() Sweep {
+	g := model.Grid3D{I: 16, J: 16, K: 16384, PI: 4, PJ: 4}
+	return Sweep{
+		ID: "fig9", Title: "Results for 16x16x16384 space",
+		Grid: g, Heights: Ladder(4, g.K/4),
+		Machine: model.PentiumCluster(), Cap: sim.CapDMA,
+	}
+}
+
+// Fig10 is the 16×16×32768 sweep.
+func Fig10() Sweep {
+	g := model.Grid3D{I: 16, J: 16, K: 32768, PI: 4, PJ: 4}
+	return Sweep{
+		ID: "fig10", Title: "Results for 16x16x32768 space",
+		Grid: g, Heights: Ladder(4, g.K/4),
+		Machine: model.PentiumCluster(), Cap: sim.CapDMA,
+	}
+}
+
+// Fig11 is the 32×32×4096 sweep.
+func Fig11() Sweep {
+	g := model.Grid3D{I: 32, J: 32, K: 4096, PI: 4, PJ: 4}
+	return Sweep{
+		ID: "fig11", Title: "Results for 32x32x4096 space",
+		Grid: g, Heights: Ladder(4, g.K/4),
+		Machine: model.PentiumCluster(), Cap: sim.CapDMA,
+	}
+}
+
+// Run evaluates the sweep: simulated and analytic completion times for both
+// schedules at every height.
+func (s Sweep) Run() ([]SweepRow, error) {
+	rows := make([]SweepRow, 0, len(s.Heights))
+	for _, v := range s.Heights {
+		ov, err := sim.SimulateGrid(s.Grid, v, s.Machine, sim.Overlapped, s.Cap)
+		if err != nil {
+			return nil, fmt.Errorf("%s: V=%d overlapped: %w", s.ID, v, err)
+		}
+		bl, err := sim.SimulateGrid(s.Grid, v, s.Machine, sim.Blocking, sim.CapNone)
+		if err != nil {
+			return nil, fmt.Errorf("%s: V=%d blocking: %w", s.ID, v, err)
+		}
+		rows = append(rows, SweepRow{
+			V:               v,
+			G:               s.Grid.TileVolume(v),
+			OverlapSim:      ov.Makespan,
+			BlockingSim:     bl.Makespan,
+			OverlapModel:    s.Grid.PredictOverlap(v, s.Machine),
+			BlockingModel:   s.Grid.PredictNonOverlap(v, s.Machine),
+			OverlapCPUUtil:  ov.CPUUtilization,
+			BlockingCPUUtil: bl.CPUUtilization,
+		})
+	}
+	return rows, nil
+}
+
+// Optimum finds the simulated-optimal tile height for the given mode by a
+// ladder pass followed by a multiplicative refinement around the best rung.
+func (s Sweep) Optimum(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
+	runOne := func(v int64) (float64, error) {
+		cap := s.Cap
+		if mode == sim.Blocking {
+			cap = sim.CapNone
+		}
+		r, err := sim.SimulateGrid(s.Grid, v, s.Machine, mode, cap)
+		if err != nil {
+			return 0, err
+		}
+		return r.Makespan, nil
+	}
+	best := int64(-1)
+	bestT := 0.0
+	try := func(vs []int64) error {
+		for _, v := range vs {
+			t, err := runOne(v)
+			if err != nil {
+				return err
+			}
+			if best < 0 || t < bestT {
+				best, bestT = v, t
+			}
+		}
+		return nil
+	}
+	if err := try(s.Heights); err != nil {
+		return 0, 0, err
+	}
+	if err := try(Refine(best, 1, s.Grid.K, 13)); err != nil {
+		return 0, 0, err
+	}
+	return best, bestT, nil
+}
+
+// Format renders the sweep as an aligned text table.
+func Format(s Sweep, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", s.Title, s.ID)
+	fmt.Fprintf(&b, "%8s %10s %14s %14s %14s %14s %8s %8s\n",
+		"V", "g", "overlap(sim)", "blocking(sim)", "overlap(model)", "blocking(mod)", "ovCPU%", "blCPU%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10d %14.6f %14.6f %14.6f %14.6f %7.0f%% %7.0f%%\n",
+			r.V, r.G, r.OverlapSim, r.BlockingSim, r.OverlapModel, r.BlockingModel,
+			100*r.OverlapCPUUtil, 100*r.BlockingCPUUtil)
+	}
+	return b.String()
+}
+
+// CSV writes the sweep rows as comma-separated values with a header, for
+// external plotting of the figures.
+func CSV(w io.Writer, rows []SweepRow) error {
+	if _, err := fmt.Fprintln(w, "v,g,overlap_sim_s,blocking_sim_s,overlap_model_s,blocking_model_s"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.9g,%.9g,%.9g,%.9g\n",
+			r.V, r.G, r.OverlapSim, r.BlockingSim, r.OverlapModel, r.BlockingModel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShapeReport is the programmatic verdict on whether a sweep reproduces the
+// paper's qualitative results.
+type ShapeReport struct {
+	OverlapAlwaysWins bool  // overlapped below blocking at every height
+	UShapedOverlap    bool  // interior optimum for the overlapped curve
+	UShapedBlocking   bool  // interior optimum for the blocking curve
+	VOptOverlap       int64 // height of the overlapped minimum in the rows
+	VOptBlocking      int64
+	ImprovementPct    float64 // at the respective minima
+}
+
+// OK reports whether every qualitative property holds.
+func (r ShapeReport) OK() bool {
+	return r.OverlapAlwaysWins && r.UShapedOverlap && r.UShapedBlocking && r.ImprovementPct > 0
+}
+
+// CheckShape evaluates the paper's qualitative claims on a completed sweep:
+// the overlapped schedule wins everywhere, both curves are U-shaped
+// (strictly worse at the sweep's endpoints than at the interior optimum),
+// and the improvement at the optima is positive.
+func CheckShape(rows []SweepRow) (ShapeReport, error) {
+	if len(rows) < 3 {
+		return ShapeReport{}, fmt.Errorf("experiments: need at least 3 sweep rows, got %d", len(rows))
+	}
+	rep := ShapeReport{OverlapAlwaysWins: true}
+	ovBest, blBest := 0, 0
+	for i, r := range rows {
+		if r.OverlapSim >= r.BlockingSim {
+			rep.OverlapAlwaysWins = false
+		}
+		if r.OverlapSim < rows[ovBest].OverlapSim {
+			ovBest = i
+		}
+		if r.BlockingSim < rows[blBest].BlockingSim {
+			blBest = i
+		}
+	}
+	last := len(rows) - 1
+	rep.UShapedOverlap = ovBest > 0 && ovBest < last &&
+		rows[0].OverlapSim > rows[ovBest].OverlapSim && rows[last].OverlapSim > rows[ovBest].OverlapSim
+	rep.UShapedBlocking = blBest > 0 && blBest < last &&
+		rows[0].BlockingSim > rows[blBest].BlockingSim && rows[last].BlockingSim > rows[blBest].BlockingSim
+	rep.VOptOverlap = rows[ovBest].V
+	rep.VOptBlocking = rows[blBest].V
+	rep.ImprovementPct = 100 * (1 - rows[ovBest].OverlapSim/rows[blBest].BlockingSim)
+	return rep, nil
+}

@@ -1,0 +1,138 @@
+package ilmath
+
+import "fmt"
+
+// HermiteNormalForm computes the column-style Hermite Normal Form of a
+// non-singular square integer matrix A: a unimodular U with
+//
+//	A·U = H,  H lower triangular, H[i][i] > 0, 0 ≤ H[i][j] < H[i][i] for j < i.
+//
+// The HNF is the canonical basis of the column lattice of A — for an
+// integer tile-side matrix P, the lattice of tile origins {P·t : t ∈ Z^n}.
+// Two tilings generate the same origin lattice iff their side matrices have
+// equal HNF.
+func HermiteNormalForm(a *Mat) (h *Mat, u *Mat, err error) {
+	if !a.IsSquare() {
+		return nil, nil, fmt.Errorf("ilmath: HNF of non-square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return NewMat(0, 0), NewMat(0, 0), nil
+	}
+	if a.Det() == 0 {
+		return nil, nil, fmt.Errorf("ilmath: HNF of singular matrix")
+	}
+	h = a.Clone()
+	u = Identity(n)
+
+	// colOp applies an elementary column operation to both h and u.
+	addCol := func(dst, src int, k int64) { // col[dst] += k·col[src]
+		for i := 0; i < n; i++ {
+			h.Set(i, dst, addChecked(h.At(i, dst), mulChecked(k, h.At(i, src))))
+			u.Set(i, dst, addChecked(u.At(i, dst), mulChecked(k, u.At(i, src))))
+		}
+	}
+	swapCols := func(x, y int) {
+		for i := 0; i < n; i++ {
+			hx, hy := h.At(i, x), h.At(i, y)
+			h.Set(i, x, hy)
+			h.Set(i, y, hx)
+			ux, uy := u.At(i, x), u.At(i, y)
+			u.Set(i, x, uy)
+			u.Set(i, y, ux)
+		}
+	}
+	negCol := func(x int) {
+		for i := 0; i < n; i++ {
+			h.Set(i, x, -h.At(i, x))
+			u.Set(i, x, -u.At(i, x))
+		}
+	}
+
+	for r := 0; r < n; r++ {
+		// Reduce columns r..n-1 in row r to a single nonzero pivot at
+		// column r via the Euclidean algorithm on column pairs.
+		for {
+			// Find the column (≥ r) with the smallest nonzero |entry|.
+			piv := -1
+			for c := r; c < n; c++ {
+				if h.At(r, c) != 0 && (piv < 0 || AbsInt64(h.At(r, c)) < AbsInt64(h.At(r, piv))) {
+					piv = c
+				}
+			}
+			if piv < 0 {
+				return nil, nil, fmt.Errorf("ilmath: HNF internal error, zero row %d", r)
+			}
+			if piv != r {
+				swapCols(piv, r)
+			}
+			done := true
+			for c := r + 1; c < n; c++ {
+				if h.At(r, c) != 0 {
+					q := h.At(r, c) / h.At(r, r)
+					addCol(c, r, -q)
+					if h.At(r, c) != 0 {
+						done = false
+					}
+				}
+			}
+			if done {
+				break
+			}
+		}
+		if h.At(r, r) < 0 {
+			negCol(r)
+		}
+		// Normalize earlier columns in this row: 0 ≤ H[r][j] < H[r][r].
+		for j := 0; j < r; j++ {
+			q := floorDivInt(h.At(r, j), h.At(r, r))
+			if q != 0 {
+				addCol(j, r, -q)
+			}
+		}
+	}
+	return h, u, nil
+}
+
+func floorDivInt(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// IsUnimodular reports whether m is square with determinant ±1.
+func (m *Mat) IsUnimodular() bool {
+	if !m.IsSquare() {
+		return false
+	}
+	d := m.Det()
+	return d == 1 || d == -1
+}
+
+// IsLowerTriangular reports whether every entry above the diagonal is zero.
+func (m *Mat) IsLowerTriangular() bool {
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if m.At(i, j) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SameLattice reports whether the columns of a and b generate the same
+// integer lattice (equal HNF).
+func SameLattice(a, b *Mat) (bool, error) {
+	ha, _, err := HermiteNormalForm(a)
+	if err != nil {
+		return false, err
+	}
+	hb, _, err := HermiteNormalForm(b)
+	if err != nil {
+		return false, err
+	}
+	return ha.Equal(hb), nil
+}

@@ -1,0 +1,168 @@
+package ilmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkHNF(t *testing.T, a *Mat) (*Mat, *Mat) {
+	t.Helper()
+	h, u, err := HermiteNormalForm(a)
+	if err != nil {
+		t.Fatalf("HNF(%v): %v", a, err)
+	}
+	if !u.IsUnimodular() {
+		t.Fatalf("U not unimodular for %v: det %d", a, u.Det())
+	}
+	if !a.Mul(u).Equal(h) {
+		t.Fatalf("A·U != H for %v", a)
+	}
+	if !h.IsLowerTriangular() {
+		t.Fatalf("H not lower triangular:\n%v", h)
+	}
+	for i := 0; i < h.Rows; i++ {
+		if h.At(i, i) <= 0 {
+			t.Fatalf("H diagonal not positive:\n%v", h)
+		}
+		for j := 0; j < i; j++ {
+			if h.At(i, j) < 0 || h.At(i, j) >= h.At(i, i) {
+				t.Fatalf("H[%d][%d] = %d not in [0, %d):\n%v", i, j, h.At(i, j), h.At(i, i), h)
+			}
+		}
+	}
+	if AbsInt64(h.Det()) != AbsInt64(a.Det()) {
+		t.Fatalf("|det| changed: %d vs %d", h.Det(), a.Det())
+	}
+	return h, u
+}
+
+func TestHNFIdentityAndDiagonal(t *testing.T) {
+	h, _ := checkHNF(t, Identity(3))
+	if !h.Equal(Identity(3)) {
+		t.Errorf("HNF(I) = %v", h)
+	}
+	h, _ = checkHNF(t, Diag(2, 3, 5))
+	if !h.Equal(Diag(2, 3, 5)) {
+		t.Errorf("HNF(diag) = %v", h)
+	}
+}
+
+func TestHNFKnownExample(t *testing.T) {
+	// A = [[2, 1], [0, 3]]: the column lattice has HNF [[1, 0], [?, 6]]…
+	// compute: gcd of row 0 entries is 1 → H[0][0] = 1; |det| = 6 → H[1][1]
+	// divides accordingly.
+	a := MatFromRows(V(2, 1), V(0, 3))
+	h, _ := checkHNF(t, a)
+	if h.At(0, 0) != 1 || h.At(1, 1) != 6 {
+		t.Errorf("HNF = %v, want diag structure (1, 6)", h)
+	}
+}
+
+func TestHNFNegativeEntries(t *testing.T) {
+	checkHNF(t, MatFromRows(V(-2, 1), V(4, -3)))
+	checkHNF(t, MatFromRows(V(0, -1), V(1, 0)))
+}
+
+func TestHNFErrors(t *testing.T) {
+	if _, _, err := HermiteNormalForm(NewMat(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := HermiteNormalForm(MatFromRows(V(1, 2), V(2, 4))); err == nil {
+		t.Error("singular accepted")
+	}
+}
+
+func TestHNFRandomProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	done := 0
+	for done < 150 {
+		a := NewMat(3, 3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a.Set(i, j, int64(r.Intn(9)-4))
+			}
+		}
+		if a.Det() == 0 {
+			continue
+		}
+		done++
+		checkHNF(t, a)
+	}
+}
+
+func TestHNFIdempotent(t *testing.T) {
+	a := MatFromRows(V(3, 1, 0), V(1, 2, 0), V(0, 0, 4))
+	h1, _ := checkHNF(t, a)
+	h2, _ := checkHNF(t, h1)
+	if !h1.Equal(h2) {
+		t.Errorf("HNF not idempotent:\n%v\nvs\n%v", h1, h2)
+	}
+}
+
+func TestSameLattice(t *testing.T) {
+	// Column operations preserve the lattice: A and A·U have equal HNF.
+	a := MatFromRows(V(4, 1), V(0, 3))
+	u := MatFromRows(V(1, 1), V(0, 1)) // unimodular
+	b := a.Mul(u)
+	same, err := SameLattice(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("lattice changed under unimodular column op")
+	}
+	// Scaling a column changes the lattice.
+	c := a.Clone()
+	c.Set(0, 0, 8)
+	same, err = SameLattice(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Error("different lattices reported equal")
+	}
+}
+
+func TestSameLatticeSkewedTilings(t *testing.T) {
+	// The tile-origin lattice of a skewed tiling P = S⁻¹·diag(s) differs
+	// from the rectangular diag(s) lattice in general, but applying any
+	// unimodular matrix on the right (reindexing tiles) never changes it.
+	p := MatFromRows(V(6, 0), V(-6, 6)) // origins of the wavefront-skewed 6x6 tiling
+	reindex := MatFromRows(V(1, 0), V(3, 1))
+	same, err := SameLattice(p, p.Mul(reindex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("tile reindexing changed the origin lattice")
+	}
+}
+
+func TestIsUnimodularIsLowerTriangular(t *testing.T) {
+	if !Identity(4).IsUnimodular() {
+		t.Error("identity not unimodular")
+	}
+	if Diag(2, 1).IsUnimodular() {
+		t.Error("det-2 matrix reported unimodular")
+	}
+	if NewMat(2, 3).IsUnimodular() {
+		t.Error("non-square reported unimodular")
+	}
+	if !MatFromRows(V(1, 0), V(5, 1)).IsLowerTriangular() {
+		t.Error("lower triangular not detected")
+	}
+	if MatFromRows(V(1, 2), V(0, 1)).IsLowerTriangular() {
+		t.Error("upper entry missed")
+	}
+}
+
+func TestFloorDivInt(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {7, -2, -4}, {-7, -2, 3}, {6, 3, 2},
+	}
+	for _, c := range cases {
+		if got := floorDivInt(c.a, c.b); got != c.want {
+			t.Errorf("floorDivInt(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

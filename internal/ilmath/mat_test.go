@@ -1,0 +1,162 @@
+package ilmath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatConstructors(t *testing.T) {
+	m := MatFromRows(V(1, 2), V(3, 4))
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("MatFromRows layout wrong: %v", m)
+	}
+	c := MatFromCols(V(1, 2), V(3, 4))
+	if c.At(0, 1) != 3 || c.At(1, 0) != 2 {
+		t.Errorf("MatFromCols layout wrong: %v", c)
+	}
+	if !Identity(2).Equal(MatFromRows(V(1, 0), V(0, 1))) {
+		t.Error("Identity wrong")
+	}
+	if !Diag(2, 3).Equal(MatFromRows(V(2, 0), V(0, 3))) {
+		t.Error("Diag wrong")
+	}
+}
+
+func TestMatRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged MatFromRows did not panic")
+		}
+	}()
+	MatFromRows(V(1, 2), V(3))
+}
+
+func TestMatRowColTranspose(t *testing.T) {
+	m := MatFromRows(V(1, 2, 3), V(4, 5, 6))
+	if !m.Row(1).Equal(V(4, 5, 6)) {
+		t.Error("Row wrong")
+	}
+	if !m.Col(2).Equal(V(3, 6)) {
+		t.Error("Col wrong")
+	}
+	mt := m.Transpose()
+	if mt.Rows != 3 || mt.Cols != 2 || mt.At(2, 1) != 6 {
+		t.Errorf("Transpose wrong: %v", mt)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := MatFromRows(V(1, 2), V(3, 4))
+	b := MatFromRows(V(5, 6), V(7, 8))
+	want := MatFromRows(V(19, 22), V(43, 50))
+	if got := a.Mul(b); !got.Equal(want) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+	if got := a.MulVec(V(1, 1)); !got.Equal(V(3, 7)) {
+		t.Errorf("MulVec = %v", got)
+	}
+	id := Identity(2)
+	if !a.Mul(id).Equal(a) || !id.Mul(a).Equal(a) {
+		t.Error("identity not neutral")
+	}
+}
+
+func TestMatAddScale(t *testing.T) {
+	a := MatFromRows(V(1, 2), V(3, 4))
+	if got := a.Add(a); !got.Equal(a.Scale(2)) {
+		t.Error("Add/Scale disagree")
+	}
+}
+
+func TestMatDet(t *testing.T) {
+	cases := []struct {
+		m    *Mat
+		want int64
+	}{
+		{Identity(3), 1},
+		{Diag(2, 3, 4), 24},
+		{MatFromRows(V(1, 2), V(3, 4)), -2},
+		{MatFromRows(V(1, 2), V(2, 4)), 0},
+		{MatFromRows(V(0, 1), V(1, 0)), -1},
+		{MatFromRows(V(0, 2, 1), V(1, 0, 0), V(0, 0, 3)), -6},
+		{MatFromRows(V(2, 0, 0), V(0, 0, 5), V(0, 7, 0)), -70},
+		{NewMat(0, 0), 1},
+		// 4x4 with known determinant.
+		{MatFromRows(V(1, 0, 2, -1), V(3, 0, 0, 5), V(2, 1, 4, -3), V(1, 0, 5, 0)), 30},
+	}
+	for _, c := range cases {
+		if got := c.m.Det(); got != c.want {
+			t.Errorf("Det(%v) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMatDetNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Det of non-square did not panic")
+		}
+	}()
+	NewMat(2, 3).Det()
+}
+
+func randSmallMat(r *rand.Rand, n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, int64(r.Intn(11)-5))
+		}
+	}
+	return m
+}
+
+// TestPropDetMultiplicative checks det(AB) = det(A)det(B) on random 3x3
+// integer matrices, cross-validating the Bareiss integer determinant against
+// itself under products.
+func TestPropDetMultiplicative(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		a := randSmallMat(r, 3)
+		b := randSmallMat(r, 3)
+		if a.Mul(b).Det() != a.Det()*b.Det() {
+			t.Fatalf("det(AB) != det(A)det(B) for\nA=%v\nB=%v", a, b)
+		}
+	}
+}
+
+// TestPropDetTranspose checks det(Aᵀ) = det(A).
+func TestPropDetTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := randSmallMat(r, 4)
+		if a.Det() != a.Transpose().Det() {
+			t.Fatalf("det(A) != det(Aᵀ) for A=%v", a)
+		}
+	}
+}
+
+// TestPropDetAgreesWithRat cross-validates the integer Bareiss determinant
+// against the rational Gaussian determinant.
+func TestPropDetAgreesWithRat(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		a := randSmallMat(r, 4)
+		ri := a.ToRat().Det()
+		if !ri.IsInt() || ri.Int() != a.Det() {
+			t.Fatalf("integer det %d disagrees with rational det %v for A=%v", a.Det(), ri, a)
+		}
+	}
+}
+
+func TestPropMatMulVecLinear(t *testing.T) {
+	f := func(a, b, c, d, e, g int64) bool {
+		m := MatFromRows(V(small(a), small(b)), V(small(c), small(d)))
+		v := V(small(e), small(g))
+		// M(2v) == 2(Mv)
+		return m.MulVec(v.Scale(2)).Equal(m.MulVec(v).Scale(2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

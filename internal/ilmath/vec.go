@@ -1,0 +1,265 @@
+// Package ilmath provides exact integer and rational linear algebra for
+// loop-tiling transformations.
+//
+// Tiling matrices H and their inverses P = H⁻¹ must be manipulated exactly:
+// legality tests such as HD ≥ 0 and ⌊HD⌋ = 0 are ill-conditioned under
+// floating point when tile sides are large. All arithmetic in this package
+// is exact, over int64 numerators/denominators with overflow checks.
+package ilmath
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrOverflow is returned (or wrapped) when an exact integer operation would
+// exceed the int64 range.
+var ErrOverflow = errors.New("ilmath: integer overflow")
+
+// Vec is a dense integer vector.
+type Vec []int64
+
+// NewVec returns a zero vector of dimension n.
+func NewVec(n int) Vec {
+	return make(Vec, n)
+}
+
+// V is a convenience constructor building a vector from its components.
+func V(xs ...int64) Vec {
+	v := make(Vec, len(xs))
+	copy(v, xs)
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dim returns the dimension (number of components) of v.
+func (v Vec) Dim() int { return len(v) }
+
+// Equal reports whether v and w have the same dimension and components.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component of v is zero.
+func (v Vec) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns v + w. It panics if dimensions differ.
+func (v Vec) Add(w Vec) Vec {
+	mustSameDim(len(v), len(w))
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = addChecked(v[i], w[i])
+	}
+	return out
+}
+
+// Sub returns v − w. It panics if dimensions differ.
+func (v Vec) Sub(w Vec) Vec {
+	mustSameDim(len(v), len(w))
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = subChecked(v[i], w[i])
+	}
+	return out
+}
+
+// Scale returns k·v.
+func (v Vec) Scale(k int64) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = mulChecked(v[i], k)
+	}
+	return out
+}
+
+// Neg returns −v.
+func (v Vec) Neg() Vec { return v.Scale(-1) }
+
+// Dot returns the inner product v·w. It panics if dimensions differ.
+func (v Vec) Dot(w Vec) int64 {
+	mustSameDim(len(v), len(w))
+	var s int64
+	for i := range v {
+		s = addChecked(s, mulChecked(v[i], w[i]))
+	}
+	return s
+}
+
+// Sum returns the sum of the components of v.
+func (v Vec) Sum() int64 {
+	var s int64
+	for _, x := range v {
+		s = addChecked(s, x)
+	}
+	return s
+}
+
+// Max returns the maximum component of v. It panics on an empty vector.
+func (v Vec) Max() int64 {
+	if len(v) == 0 {
+		panic("ilmath: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum component of v. It panics on an empty vector.
+func (v Vec) Min() int64 {
+	if len(v) == 0 {
+		panic("ilmath: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the first maximum component of v.
+func (v Vec) ArgMax() int {
+	if len(v) == 0 {
+		panic("ilmath: ArgMax of empty vector")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// IsNonNegative reports whether every component of v is ≥ 0.
+func (v Vec) IsNonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LexPositive reports whether v is lexicographically positive: its first
+// nonzero component is positive. The zero vector is not lexicographically
+// positive.
+func (v Vec) LexPositive() bool {
+	for _, x := range v {
+		if x > 0 {
+			return true
+		}
+		if x < 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// String renders v as "(x1, x2, …, xn)".
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func mustSameDim(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("ilmath: dimension mismatch %d vs %d", a, b))
+	}
+}
+
+// addChecked returns a+b, panicking with ErrOverflow on int64 overflow.
+func addChecked(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(fmt.Errorf("%w: %d + %d", ErrOverflow, a, b))
+	}
+	return s
+}
+
+func subChecked(a, b int64) int64 {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		panic(fmt.Errorf("%w: %d - %d", ErrOverflow, a, b))
+	}
+	return d
+}
+
+func mulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic(fmt.Errorf("%w: %d * %d", ErrOverflow, a, b))
+	}
+	return p
+}
+
+// Gcd returns the greatest common divisor of a and b, always ≥ 0.
+// Gcd(0, 0) = 0.
+func Gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Lcm returns the least common multiple of a and b, always ≥ 0.
+// Lcm(0, x) = 0.
+func Lcm(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	a, b = AbsInt64(a), AbsInt64(b)
+	return mulChecked(a/Gcd(a, b), b)
+}
+
+// AbsInt64 returns |x|. It panics on math.MinInt64.
+func AbsInt64(x int64) int64 {
+	if x < 0 {
+		return subChecked(0, x)
+	}
+	return x
+}

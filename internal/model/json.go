@@ -1,0 +1,91 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// machineJSON is the on-disk form of a Machine, with all times in seconds.
+type machineJSON struct {
+	Tc                float64 `json:"tc"`
+	Ts                float64 `json:"ts"`
+	Tt                float64 `json:"tt"`
+	BytesPerElem      int64   `json:"bytes_per_elem"`
+	FillMPIBase       float64 `json:"fill_mpi_base"`
+	FillMPIPerByte    float64 `json:"fill_mpi_per_byte"`
+	FillKernelBase    float64 `json:"fill_kernel_base"`
+	FillKernelPerByte float64 `json:"fill_kernel_per_byte"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m Machine) MarshalJSON() ([]byte, error) {
+	return json.Marshal(machineJSON{
+		Tc: m.Tc, Ts: m.Ts, Tt: m.Tt, BytesPerElem: m.BytesPerElem,
+		FillMPIBase: m.FillMPIBase, FillMPIPerByte: m.FillMPIPerByte,
+		FillKernelBase: m.FillKernelBase, FillKernelPerByte: m.FillKernelPerByte,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields and
+// validating the result.
+func (m *Machine) UnmarshalJSON(data []byte) error {
+	var j machineJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return err
+	}
+	out := Machine{
+		Tc: j.Tc, Ts: j.Ts, Tt: j.Tt, BytesPerElem: j.BytesPerElem,
+		FillMPIBase: j.FillMPIBase, FillMPIPerByte: j.FillMPIPerByte,
+		FillKernelBase: j.FillKernelBase, FillKernelPerByte: j.FillKernelPerByte,
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*m = out
+	return nil
+}
+
+// LoadMachine reads a Machine from a JSON file.
+func LoadMachine(path string) (Machine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Machine{}, err
+	}
+	defer f.Close()
+	return ReadMachine(f)
+}
+
+// ReadMachine decodes a Machine from JSON.
+func ReadMachine(r io.Reader) (Machine, error) {
+	var m Machine
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Machine{}, fmt.Errorf("model: decoding machine: %w", err)
+	}
+	return m, nil
+}
+
+// WriteMachine encodes a Machine as indented JSON.
+func WriteMachine(w io.Writer, m Machine) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// NamedMachine resolves the built-in machine names used by the CLIs.
+func NamedMachine(name string) (Machine, error) {
+	switch name {
+	case "example1":
+		return Example1Machine(), nil
+	case "pentium":
+		return PentiumCluster(), nil
+	default:
+		return Machine{}, fmt.Errorf("model: unknown machine %q (want example1 or pentium, or use a JSON file)", name)
+	}
+}

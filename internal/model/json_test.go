@@ -1,0 +1,73 @@
+package model
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMachineJSONRoundTrip(t *testing.T) {
+	for _, m := range []Machine{Example1Machine(), PentiumCluster()} {
+		var buf bytes.Buffer
+		if err := WriteMachine(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMachine(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Errorf("round trip changed machine: %+v vs %+v", got, m)
+		}
+	}
+}
+
+func TestReadMachineRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"zero tc":       `{"tc":0,"ts":1,"tt":1,"bytes_per_elem":4}`,
+		"unknown field": `{"tc":1,"ts":1,"tt":1,"bytes_per_elem":4,"bogus":1}`,
+		"not json":      `tc = 1`,
+		"negative fill": `{"tc":1,"ts":1,"tt":1,"bytes_per_elem":4,"fill_mpi_base":-1}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadMachine(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadMachineFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+	var buf bytes.Buffer
+	if err := WriteMachine(&buf, PentiumCluster()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMachine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != PentiumCluster() {
+		t.Error("loaded machine differs")
+	}
+	if _, err := LoadMachine(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestNamedMachine(t *testing.T) {
+	if m, err := NamedMachine("example1"); err != nil || m != Example1Machine() {
+		t.Error("example1 lookup failed")
+	}
+	if m, err := NamedMachine("pentium"); err != nil || m != PentiumCluster() {
+		t.Error("pentium lookup failed")
+	}
+	if _, err := NamedMachine("cray"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package model
+
+import "fmt"
+
+// StepShape describes what one processor does during one time step of the
+// tiled schedule: the number of iteration points it computes and the sizes
+// of the messages it exchanges with its neighbors.
+type StepShape struct {
+	ComputePoints int64   // g, iteration points computed in the tile
+	SendBytes     []int64 // one entry per outgoing message
+	RecvBytes     []int64 // one entry per incoming message
+}
+
+// TotalSendBytes returns the sum of outgoing message sizes.
+func (s StepShape) TotalSendBytes() int64 { return sum(s.SendBytes) }
+
+// TotalRecvBytes returns the sum of incoming message sizes.
+func (s StepShape) TotalRecvBytes() int64 { return sum(s.RecvBytes) }
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// NonOverlappedStep returns the duration of one receive→compute→send triplet
+// of the non-overlapping schedule (Section 3):
+//
+//	T_step = T_comp + T_comm,  T_comm = T_startup + T_transmit
+//
+// Every send and every receive pays the full startup serially — the MPI
+// buffer fill plus the kernel buffer fill, the same decomposition the
+// overlapped path splits into A- and B-sides — and the wire time of each
+// exchanged message is counted once for the send–receive pair, matching the
+// paper's Example 1 accounting (there T_startup = t_s per message with
+// t_s = T_fill_MPI_buffer + T_fill_kernel_buffer, Example 3).
+func (m Machine) NonOverlappedStep(s StepShape) float64 {
+	var startup float64
+	for _, b := range s.SendBytes {
+		startup += m.FillMPI(b) + m.FillKernel(b)
+	}
+	for _, b := range s.RecvBytes {
+		startup += m.FillMPI(b) + m.FillKernel(b)
+	}
+	transmit := m.Wire(s.TotalSendBytes())
+	return startup + transmit + float64(s.ComputePoints)*m.Tc
+}
+
+// OverlappedStepParts returns the two sides of the max() in eq. 4 for one
+// step of the overlapping schedule:
+//
+//	cpu  = A1 + A2 + A3: MPI buffer fills for sends (A1) and receives (A3)
+//	       around the tile computation A2 = g·t_c — the serial CPU path;
+//	comm = B1 + B2 + B3 + B4: receive wire time (B1), kernel buffer fills
+//	       for receives (B2) and sends (B3), send wire time (B4) — the
+//	       overlappable communication path.
+func (m Machine) OverlappedStepParts(s StepShape) (cpu, comm float64) {
+	for _, b := range s.SendBytes {
+		cpu += m.FillMPI(b)     // A1
+		comm += m.FillKernel(b) // B3
+	}
+	for _, b := range s.RecvBytes {
+		cpu += m.FillMPI(b)     // A3
+		comm += m.FillKernel(b) // B2
+	}
+	cpu += float64(s.ComputePoints) * m.Tc // A2
+	comm += m.Wire(s.TotalRecvBytes())     // B1
+	comm += m.Wire(s.TotalSendBytes())     // B4
+	return cpu, comm
+}
+
+// OverlappedStep returns max(A1+A2+A3, B1+B2+B3+B4), the duration of one
+// step under the overlapping schedule (eq. 4).
+func (m Machine) OverlappedStep(s StepShape) float64 {
+	cpu, comm := m.OverlappedStepParts(s)
+	if cpu > comm {
+		return cpu
+	}
+	return comm
+}
+
+// ComputeBound reports whether the CPU path dominates (case 1 of Section 4,
+// leading to eq. 5).
+func (m Machine) ComputeBound(s StepShape) bool {
+	cpu, comm := m.OverlappedStepParts(s)
+	return cpu >= comm
+}
+
+// TotalNonOverlapped evaluates eq. 3: T = P(g)·(T_comp + T_comm).
+func (m Machine) TotalNonOverlapped(p int64, s StepShape) float64 {
+	return float64(p) * m.NonOverlappedStep(s)
+}
+
+// TotalOverlapped evaluates eq. 4: T = P(g)·max(A-side, B-side).
+func (m Machine) TotalOverlapped(p int64, s StepShape) float64 {
+	return float64(p) * m.OverlappedStep(s)
+}
+
+// HodzicShangOptimalG returns the optimal tile size g = c·t_s/t_c of
+// expression (11) in Hodzic & Shang, where c is the number of neighboring
+// processors (Example 1 uses c = 1).
+func (m Machine) HodzicShangOptimalG(c int) float64 {
+	return float64(c) * m.Ts / m.Tc
+}
+
+// OptimalGEq5 solves dT/dg = 0 for the compute-bound overlapped case
+// (eq. 5) with constant per-step fill cost F = A1 + A3:
+//
+//	T(g) = P₀·g^(−1/n)·(F + g·t_c)
+//	T'(g) = 0  ⟹  g_opt = F / ((n−1)·t_c)
+//
+// valid for n ≥ 2 (for n = 1 the expression has no interior optimum:
+// T decreases monotonically in g). It returns an error for n < 2 or
+// non-positive F.
+func (m Machine) OptimalGEq5(n int, fillSum float64) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("model: OptimalGEq5 requires n >= 2, got %d", n)
+	}
+	if fillSum <= 0 {
+		return 0, fmt.Errorf("model: non-positive fill cost %g", fillSum)
+	}
+	return fillSum / (float64(n-1) * m.Tc), nil
+}

@@ -1,0 +1,117 @@
+package mp
+
+import "sync/atomic"
+
+// Counters accumulates traffic statistics for one endpoint. All fields are
+// safe for concurrent use.
+type Counters struct {
+	SendMsgs  atomic.Int64
+	SendBytes atomic.Int64
+	RecvMsgs  atomic.Int64
+	RecvBytes atomic.Int64
+	Barriers  atomic.Int64
+}
+
+// Snapshot is a plain-value copy of the counters.
+type Snapshot struct {
+	SendMsgs, SendBytes int64
+	RecvMsgs, RecvBytes int64
+	Barriers            int64
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		SendMsgs:  c.SendMsgs.Load(),
+		SendBytes: c.SendBytes.Load(),
+		RecvMsgs:  c.RecvMsgs.Load(),
+		RecvBytes: c.RecvBytes.Load(),
+		Barriers:  c.Barriers.Load(),
+	}
+}
+
+// CountingComm wraps a Comm and counts every operation — drop-in
+// instrumentation for measuring an algorithm's communication volume (the
+// V_comm the tiling theory predicts).
+type CountingComm struct {
+	Comm
+	C Counters
+}
+
+// WithCounters wraps c.
+func WithCounters(c Comm) *CountingComm {
+	return &CountingComm{Comm: c}
+}
+
+// Send implements Comm.
+func (c *CountingComm) Send(dst, tag int, data []byte) error {
+	err := c.Comm.Send(dst, tag, data)
+	if err == nil {
+		c.C.SendMsgs.Add(1)
+		c.C.SendBytes.Add(int64(len(data)))
+	}
+	return err
+}
+
+// Isend implements Comm.
+func (c *CountingComm) Isend(dst, tag int, data []byte) (Request, error) {
+	req, err := c.Comm.Isend(dst, tag, data)
+	if err == nil {
+		c.C.SendMsgs.Add(1)
+		c.C.SendBytes.Add(int64(len(data)))
+	}
+	return req, err
+}
+
+// Recv implements Comm.
+func (c *CountingComm) Recv(src, tag int, buf []byte) (Status, error) {
+	st, err := c.Comm.Recv(src, tag, buf)
+	if err == nil {
+		c.C.RecvMsgs.Add(1)
+		c.C.RecvBytes.Add(int64(st.Bytes))
+	}
+	return st, err
+}
+
+// Irecv implements Comm; the receive is counted when the request completes
+// successfully.
+func (c *CountingComm) Irecv(src, tag int, buf []byte) (Request, error) {
+	req, err := c.Comm.Irecv(src, tag, buf)
+	if err != nil {
+		return nil, err
+	}
+	return &countingRecvReq{Request: req, ctr: &c.C}, nil
+}
+
+// Barrier implements Comm.
+func (c *CountingComm) Barrier() error {
+	err := c.Comm.Barrier()
+	if err == nil {
+		c.C.Barriers.Add(1)
+	}
+	return err
+}
+
+type countingRecvReq struct {
+	Request
+	ctr     *Counters
+	counted atomic.Bool
+}
+
+func (r *countingRecvReq) Wait() (Status, error) {
+	st, err := r.Request.Wait()
+	if err == nil && r.counted.CompareAndSwap(false, true) {
+		r.ctr.RecvMsgs.Add(1)
+		r.ctr.RecvBytes.Add(int64(st.Bytes))
+	}
+	return st, err
+}
+
+func (r *countingRecvReq) Test() (bool, Status, error) {
+	done, st, err := r.Request.Test()
+	if done && err == nil && r.counted.CompareAndSwap(false, true) {
+		r.ctr.RecvMsgs.Add(1)
+		r.ctr.RecvBytes.Add(int64(st.Bytes))
+	}
+	return done, st, err
+}

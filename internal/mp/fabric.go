@@ -1,0 +1,218 @@
+package mp
+
+import "sync"
+
+// envelope is a message in flight.
+type envelope struct {
+	src  int
+	tag  int
+	data []byte // owned copy
+	// matched, when non-nil, is signalled once a receive consumes the
+	// envelope — the completion hook for rendezvous-mode sends.
+	matched *sendOp
+}
+
+// sendOp is the waitable handle of a rendezvous send: it completes when the
+// receiver matches the message, like MPI's synchronous-mode MPI_Ssend.
+type sendOp struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+	err  error
+}
+
+func newSendOp() *sendOp {
+	op := &sendOp{}
+	op.cond = sync.NewCond(&op.mu)
+	return op
+}
+
+func (op *sendOp) complete(err error) {
+	op.mu.Lock()
+	if !op.done {
+		op.done = true
+		op.err = err
+		op.cond.Broadcast()
+	}
+	op.mu.Unlock()
+}
+
+// Wait implements Request for rendezvous sends.
+func (op *sendOp) Wait() (Status, error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	for !op.done {
+		op.cond.Wait()
+	}
+	return Status{}, op.err
+}
+
+// Test implements Request for rendezvous sends.
+func (op *sendOp) Test() (bool, Status, error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if !op.done {
+		return false, Status{}, nil
+	}
+	return true, Status{}, op.err
+}
+
+// recvOp is a posted receive awaiting a match.
+type recvOp struct {
+	src int // AnySource allowed
+	tag int // AnyTag allowed
+	buf []byte
+
+	mu     sync.Mutex
+	done   bool
+	status Status
+	err    error
+	cond   *sync.Cond
+}
+
+func newRecvOp(src, tag int, buf []byte) *recvOp {
+	op := &recvOp{src: src, tag: tag, buf: buf}
+	op.cond = sync.NewCond(&op.mu)
+	return op
+}
+
+func (op *recvOp) matches(e *envelope) bool {
+	if op.src != AnySource && op.src != e.src {
+		return false
+	}
+	if op.tag != AnyTag && op.tag != e.tag {
+		return false
+	}
+	return true
+}
+
+// complete copies the envelope into the buffer and wakes the waiter.
+func (op *recvOp) complete(e *envelope) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if len(e.data) > len(op.buf) {
+		op.err = ErrTruncated
+	} else {
+		copy(op.buf, e.data)
+	}
+	op.status = Status{Source: e.src, Tag: e.tag, Bytes: len(e.data)}
+	op.done = true
+	op.cond.Broadcast()
+}
+
+func (op *recvOp) fail(err error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if !op.done {
+		op.err = err
+		op.done = true
+		op.cond.Broadcast()
+	}
+}
+
+// Wait implements Request for receives.
+func (op *recvOp) Wait() (Status, error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	for !op.done {
+		op.cond.Wait()
+	}
+	return op.status, op.err
+}
+
+// Test implements Request for receives.
+func (op *recvOp) Test() (bool, Status, error) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if !op.done {
+		return false, Status{}, nil
+	}
+	return true, op.status, op.err
+}
+
+// mailbox performs MPI-style (source, tag) matching for one rank.
+// Unexpected messages queue in arrival order; posted receives queue in post
+// order; matching always prefers the oldest candidate, which yields the
+// non-overtaking guarantee per (source, tag) pair.
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []*envelope
+	posted     []*recvOp
+	closed     bool
+}
+
+// deliver hands an incoming envelope to the oldest matching posted receive,
+// or queues it as unexpected.
+func (mb *mailbox) deliver(e *envelope) error {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		if e.matched != nil {
+			e.matched.complete(ErrClosed)
+		}
+		return ErrClosed
+	}
+	for i, op := range mb.posted {
+		if op.matches(e) {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			mb.mu.Unlock()
+			op.complete(e)
+			if e.matched != nil {
+				e.matched.complete(nil)
+			}
+			return nil
+		}
+	}
+	mb.unexpected = append(mb.unexpected, e)
+	mb.mu.Unlock()
+	return nil
+}
+
+// post registers a receive, matching it immediately against queued
+// unexpected messages if possible.
+func (mb *mailbox) post(op *recvOp) error {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return ErrClosed
+	}
+	for i, e := range mb.unexpected {
+		if op.matches(e) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			mb.mu.Unlock()
+			op.complete(e)
+			if e.matched != nil {
+				e.matched.complete(nil)
+			}
+			return nil
+		}
+	}
+	mb.posted = append(mb.posted, op)
+	mb.mu.Unlock()
+	return nil
+}
+
+// close fails all pending receives and unmatched rendezvous senders.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	pend := mb.posted
+	unm := mb.unexpected
+	mb.posted = nil
+	mb.unexpected = nil
+	mb.closed = true
+	mb.mu.Unlock()
+	for _, op := range pend {
+		op.fail(ErrClosed)
+	}
+	for _, e := range unm {
+		if e.matched != nil {
+			e.matched.complete(ErrClosed)
+		}
+	}
+}
+
+// sendReq is the trivial already-complete Request returned by eager sends.
+type sendReq struct{ err error }
+
+func (s sendReq) Wait() (Status, error)       { return Status{}, s.err }
+func (s sendReq) Test() (bool, Status, error) { return true, Status{}, s.err }

@@ -1,0 +1,235 @@
+package mp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is an in-process communicator fabric: Size ranks backed by
+// goroutines in one address space, with a shared mailbox per rank.
+type World struct {
+	n      int
+	opts   WorldOptions
+	boxes  []*mailbox
+	comms  []*inprocComm
+	bar    barrier
+	mu     sync.Mutex
+	closed bool
+}
+
+// WorldOptions tunes the in-process fabric.
+type WorldOptions struct {
+	// RendezvousThreshold switches sends of payloads strictly larger than
+	// this many bytes to rendezvous (synchronous) mode: the send request
+	// completes only when the receiver matches it, like MPICH's large-
+	// message protocol. Negative (the default via NewWorld) means always
+	// eager; 0 means every send is rendezvous.
+	RendezvousThreshold int
+}
+
+// NewWorld creates an all-eager fabric with n ranks and returns the
+// per-rank endpoints.
+func NewWorld(n int) (*World, []Comm, error) {
+	return NewWorldOpts(n, WorldOptions{RendezvousThreshold: -1})
+}
+
+// NewWorldOpts is NewWorld with explicit options.
+func NewWorldOpts(n int, opts WorldOptions) (*World, []Comm, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("mp: world size must be positive, got %d", n)
+	}
+	w := &World{n: n, opts: opts, boxes: make([]*mailbox, n), comms: make([]*inprocComm, n)}
+	w.bar.init(n)
+	comms := make([]Comm, n)
+	for i := 0; i < n; i++ {
+		w.boxes[i] = &mailbox{}
+		w.comms[i] = &inprocComm{world: w, rank: i}
+		comms[i] = w.comms[i]
+	}
+	return w, comms, nil
+}
+
+// Close shuts down the fabric; pending receives fail with ErrClosed.
+func (w *World) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	for _, mb := range w.boxes {
+		mb.close()
+	}
+	w.bar.close()
+	return nil
+}
+
+// Launch runs fn on every rank of a fresh n-rank world, one goroutine per
+// rank, and waits for all to finish. It returns the first non-nil error by
+// rank order. The world is closed before returning.
+func Launch(n int, fn func(c Comm) error) error {
+	return LaunchOpts(n, WorldOptions{RendezvousThreshold: -1}, fn)
+}
+
+// LaunchOpts is Launch on a world with explicit options.
+func LaunchOpts(n int, opts WorldOptions, fn func(c Comm) error) error {
+	w, comms, err := NewWorldOpts(n, opts)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(comms[rank])
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("mp: rank %d: %w", i, e)
+		}
+	}
+	return nil
+}
+
+// inprocComm is one rank's endpoint of a World.
+type inprocComm struct {
+	world  *World
+	rank   int
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *inprocComm) Rank() int { return c.rank }
+func (c *inprocComm) Size() int { return c.world.n }
+
+func (c *inprocComm) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *inprocComm) Send(dst, tag int, data []byte) error {
+	req, err := c.Isend(dst, tag, data)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+func (c *inprocComm) Isend(dst, tag int, data []byte) (Request, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := checkRank(dst, c.world.n, "destination"); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return nil, err
+	}
+	// Copy the payload so the caller may reuse its buffer immediately (the
+	// MPI system-buffer copy of the paper's A1/B3).
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	e := &envelope{src: c.rank, tag: tag, data: cp}
+	if t := c.world.opts.RendezvousThreshold; t >= 0 && len(data) > t {
+		// Rendezvous mode: the request completes when the receiver matches.
+		e.matched = newSendOp()
+		if err := c.world.boxes[dst].deliver(e); err != nil {
+			return nil, err
+		}
+		return e.matched, nil
+	}
+	err := c.world.boxes[dst].deliver(e)
+	return sendReq{err: err}, err
+}
+
+func (c *inprocComm) Recv(src, tag int, buf []byte) (Status, error) {
+	req, err := c.Irecv(src, tag, buf)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+func (c *inprocComm) Irecv(src, tag int, buf []byte) (Request, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := checkSource(src, c.world.n); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag, true); err != nil {
+		return nil, err
+	}
+	op := newRecvOp(src, tag, buf)
+	if err := c.world.boxes[c.rank].post(op); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func (c *inprocComm) Barrier() error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	return c.world.bar.await()
+}
+
+func (c *inprocComm) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	closed bool
+}
+
+func (b *barrier) init(n int) {
+	b.n = n
+	b.cond = sync.NewCond(&b.mu)
+}
+
+func (b *barrier) await() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for gen == b.gen && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed && gen == b.gen {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (b *barrier) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

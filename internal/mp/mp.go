@@ -1,0 +1,119 @@
+// Package mp is a from-scratch message-passing layer standing in for MPI
+// (the paper's substrate; no mature MPI binding exists for Go, so the
+// reproduction builds its own).
+//
+// It provides the primitives the paper's pseudocode uses — blocking
+// Send/Recv (ProcB) and non-blocking Isend/Irecv + Wait (ProcNB) — with
+// MPI-style matching on (source, tag) including wildcards, FIFO
+// non-overtaking order per (source, tag), and a Barrier.
+//
+// Two transports implement Comm:
+//
+//   - the in-process transport (NewWorld/Launch): ranks are goroutines
+//     sharing a matching fabric; this is the default substrate for the
+//     examples and the wall-clock comparison of the two schedules;
+//   - the TCP transport (ConnectTCP): ranks are separate processes meshed
+//     over TCP sockets via the net package, for multi-process runs.
+//
+// Like MPI, the collective operations and Barrier require every rank to
+// participate: a rank that errors out and returns early while its peers sit
+// in a barrier deadlocks the world until it is closed. Structure per-rank
+// code so that validation failures happen on every rank (deterministic
+// configuration checks before the first collective), as runner does.
+package mp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wildcards for Recv/Irecv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrClosed is returned by operations on a closed communicator.
+var ErrClosed = errors.New("mp: communicator closed")
+
+// ErrTruncated is returned when an incoming message is larger than the
+// receive buffer (like MPI_ERR_TRUNCATE).
+var ErrTruncated = errors.New("mp: message truncated (receive buffer too small)")
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// Request is a handle on a non-blocking operation.
+type Request interface {
+	// Wait blocks until the operation completes and returns its status.
+	// For sends the Status is zero-valued.
+	Wait() (Status, error)
+	// Test reports whether the operation has completed without blocking.
+	Test() (bool, Status, error)
+}
+
+// Comm is one rank's endpoint of a communicator.
+type Comm interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers data to dst with the given tag, blocking until the
+	// message is buffered for delivery (eager/buffered semantics, like
+	// MPI_Send on small messages).
+	Send(dst, tag int, data []byte) error
+	// Recv blocks until a matching message arrives and copies it into buf.
+	// src may be AnySource, tag may be AnyTag.
+	Recv(src, tag int, buf []byte) (Status, error)
+	// Isend starts a non-blocking send.
+	Isend(dst, tag int, data []byte) (Request, error)
+	// Irecv posts a non-blocking receive into buf.
+	Irecv(src, tag int, buf []byte) (Request, error)
+	// Barrier blocks until every rank has entered the barrier.
+	Barrier() error
+	// Close releases the endpoint. Further operations fail with ErrClosed.
+	Close() error
+}
+
+// WaitAll waits on every request, returning the first error encountered
+// (after waiting on all of them, like MPI_Waitall).
+func WaitAll(reqs ...Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func checkRank(rank, size int, what string) error {
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("mp: %s rank %d out of range [0,%d)", what, rank, size)
+	}
+	return nil
+}
+
+func checkSource(src, size int) error {
+	if src == AnySource {
+		return nil
+	}
+	return checkRank(src, size, "source")
+}
+
+func checkTag(tag int, allowAny bool) error {
+	if tag >= 0 {
+		return nil
+	}
+	if allowAny && tag == AnyTag {
+		return nil
+	}
+	return fmt.Errorf("mp: invalid tag %d (tags must be >= 0)", tag)
+}

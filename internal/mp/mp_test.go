@@ -1,0 +1,496 @@
+package mp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, _, err := NewWorld(0); err == nil {
+		t.Error("zero-size world accepted")
+	}
+	if _, _, err := NewWorld(-3); err == nil {
+		t.Error("negative-size world accepted")
+	}
+	w, comms, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(comms) != 4 {
+		t.Fatalf("got %d comms", len(comms))
+	}
+	for i, c := range comms {
+		if c.Rank() != i || c.Size() != 4 {
+			t.Errorf("comm %d has rank %d size %d", i, c.Rank(), c.Size())
+		}
+	}
+}
+
+func TestBlockingSendRecv(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("hello"))
+		}
+		buf := make([]byte, 16)
+		st, err := c.Recv(0, 7, buf)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 7 || st.Bytes != 5 {
+			return fmt.Errorf("bad status %+v", st)
+		}
+		if !bytes.Equal(buf[:st.Bytes], []byte("hello")) {
+			return fmt.Errorf("bad payload %q", buf[:st.Bytes])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonBlockingOverlap(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 1, []byte{42})
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		buf := make([]byte, 1)
+		req, err := c.Irecv(0, 1, buf)
+		if err != nil {
+			return err
+		}
+		st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if buf[0] != 42 || st.Bytes != 1 {
+			return fmt.Errorf("bad receive %v %+v", buf, st)
+		}
+		// Wait twice is allowed and idempotent.
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvPostedBeforeSend(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 1 {
+			buf := make([]byte, 8)
+			req, err := c.Irecv(0, 3, buf)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil { // ensure posted before send
+				return err
+			}
+			st, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if st.Bytes != 3 || !bytes.Equal(buf[:3], []byte("abc")) {
+				return fmt.Errorf("bad data")
+			}
+			return nil
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.Send(1, 3, []byte("abc"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 5, []byte("five")); err != nil {
+				return err
+			}
+			return c.Send(1, 6, []byte("six6"))
+		}
+		buf := make([]byte, 8)
+		// Receive tag 6 first even though 5 arrived first.
+		st, err := c.Recv(0, 6, buf)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(buf[:st.Bytes], []byte("six6")) {
+			return fmt.Errorf("tag 6 got %q", buf[:st.Bytes])
+		}
+		st, err = c.Recv(0, 5, buf)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(buf[:st.Bytes], []byte("five")) {
+			return fmt.Errorf("tag 5 got %q", buf[:st.Bytes])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	err := Launch(3, func(c Comm) error {
+		switch c.Rank() {
+		case 0, 1:
+			return c.Send(2, c.Rank()+10, []byte{byte(c.Rank())})
+		default:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				buf := make([]byte, 1)
+				st, err := c.Recv(AnySource, AnyTag, buf)
+				if err != nil {
+					return err
+				}
+				if st.Tag != st.Source+10 || int(buf[0]) != st.Source {
+					return fmt.Errorf("mismatched wildcard recv %+v", st)
+				}
+				seen[st.Source] = true
+			}
+			if !seen[0] || !seen[1] {
+				return fmt.Errorf("missing source")
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonOvertakingOrder(t *testing.T) {
+	const n = 100
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 1, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			buf := make([]byte, 1)
+			if _, err := c.Recv(0, 1, buf); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order (got %d)", i, buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []byte("too long for buffer"))
+		}
+		buf := make([]byte, 4)
+		_, err := c.Recv(0, 1, buf)
+		if err != ErrTruncated {
+			return fmt.Errorf("want ErrTruncated, got %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	w, comms, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c := comms[0]
+	if _, err := c.Isend(5, 0, nil); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := c.Isend(1, -1, nil); err == nil {
+		t.Error("negative tag accepted for send")
+	}
+	if _, err := c.Irecv(5, 0, nil); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := c.Irecv(AnySource, -7, nil); err == nil {
+		t.Error("invalid negative tag accepted for recv")
+	}
+	if _, err := c.Irecv(AnySource, AnyTag, nil); err != nil {
+		t.Errorf("wildcards rejected: %v", err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var phase atomic.Int32
+	err := Launch(4, func(c Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			phase.Store(1)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if phase.Load() != 1 {
+			return fmt.Errorf("rank %d passed barrier before phase set", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	var counter atomic.Int32
+	err := Launch(3, func(c Comm) error {
+		for round := 0; round < 10; round++ {
+			counter.Add(1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if got := counter.Load(); got != int32((round+1)*3) {
+				return fmt.Errorf("round %d: counter %d", round, got)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedWorldFailsPendingRecv(t *testing.T) {
+	w, comms, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	req, err := comms[0].Irecv(1, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := req.Wait(); err != ErrClosed {
+			t.Errorf("want ErrClosed, got %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	wg.Wait()
+	if _, err := comms[0].Irecv(1, 0, buf); err != ErrClosed {
+		t.Errorf("post after close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestCommCloseStopsEndpoint(t *testing.T) {
+	w, comms, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	comms[0].Close()
+	if _, err := comms[0].Isend(1, 0, nil); err != ErrClosed {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	if err := comms[0].Barrier(); err != ErrClosed {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestLaunchPropagatesError(t *testing.T) {
+	sentinel := fmt.Errorf("boom")
+	err := Launch(3, func(c Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Launch swallowed the error")
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Send(1, 1, []byte{9})
+		}
+		buf := make([]byte, 1)
+		req, err := c.Irecv(0, 1, buf)
+		if err != nil {
+			return err
+		}
+		done, _, err := req.Test()
+		if err != nil {
+			return err
+		}
+		if done {
+			return fmt.Errorf("Test reported done before send")
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for {
+			done, st, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				if st.Bytes != 1 || buf[0] != 9 {
+					return fmt.Errorf("bad data after Test completion")
+				}
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			r1, err := c.Isend(1, 1, []byte{1})
+			if err != nil {
+				return err
+			}
+			r2, err := c.Isend(1, 2, []byte{2})
+			if err != nil {
+				return err
+			}
+			return WaitAll(r1, nil, r2)
+		}
+		b1, b2 := make([]byte, 1), make([]byte, 1)
+		r1, err := c.Irecv(0, 1, b1)
+		if err != nil {
+			return err
+		}
+		r2, err := c.Irecv(0, 2, b2)
+		if err != nil {
+			return err
+		}
+		if err := WaitAll(r1, r2); err != nil {
+			return err
+		}
+		if b1[0] != 1 || b2[0] != 2 {
+			return fmt.Errorf("bad payloads %v %v", b1, b2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyToManyStress exchanges messages between all rank pairs
+// concurrently, verifying payload integrity.
+func TestManyToManyStress(t *testing.T) {
+	const n = 8
+	const rounds = 20
+	err := Launch(n, func(c Comm) error {
+		for r := 0; r < rounds; r++ {
+			var reqs []Request
+			bufs := make([][]byte, n)
+			for peer := 0; peer < n; peer++ {
+				if peer == c.Rank() {
+					continue
+				}
+				payload := []byte(fmt.Sprintf("r%d from %d", r, c.Rank()))
+				req, err := c.Isend(peer, r, payload)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+				bufs[peer] = make([]byte, 64)
+				rr, err := c.Irecv(peer, r, bufs[peer])
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, rr)
+			}
+			if err := WaitAll(reqs...); err != nil {
+				return err
+			}
+			for peer := 0; peer < n; peer++ {
+				if peer == c.Rank() {
+					continue
+				}
+				want := fmt.Sprintf("r%d from %d", r, peer)
+				if string(bufs[peer][:len(want)]) != want {
+					return fmt.Errorf("corrupt payload from %d", peer)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSenderBufferReuse: Isend must copy the payload so the caller can
+// immediately overwrite its buffer (buffered-send semantics).
+func TestSenderBufferReuse(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			data := []byte{1, 2, 3}
+			req, err := c.Isend(1, 1, data)
+			if err != nil {
+				return err
+			}
+			data[0], data[1], data[2] = 9, 9, 9 // clobber immediately
+			_, err = req.Wait()
+			if err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		buf := make([]byte, 3)
+		if _, err := c.Recv(0, 1, buf); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, []byte{1, 2, 3}) {
+			return fmt.Errorf("payload was not copied at send time: %v", buf)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

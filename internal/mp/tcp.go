@@ -1,0 +1,328 @@
+package mp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Internal control tags used by the TCP transport; user tags are >= 0.
+const (
+	ctlBarrierArrive  = -2
+	ctlBarrierRelease = -3
+)
+
+// TCPOptions tunes ConnectTCP.
+type TCPOptions struct {
+	// DialTimeout bounds how long a rank retries connecting to its peers
+	// while the mesh comes up. Default 10s.
+	DialTimeout time.Duration
+}
+
+// ConnectTCP joins rank `rank` of a `size`-rank communicator meshed over
+// TCP. addrs[i] must be the listen address ("host:port") of rank i; every
+// rank must use the same list. Rank i accepts connections from all higher
+// ranks and dials all lower ranks, forming a full mesh.
+func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mp: world size must be positive, got %d", size)
+	}
+	if err := checkRank(rank, size, "own"); err != nil {
+		return nil, err
+	}
+	if len(addrs) != size {
+		return nil, fmt.Errorf("mp: got %d addresses for %d ranks", len(addrs), size)
+	}
+	timeout := 10 * time.Second
+	if opts != nil && opts.DialTimeout > 0 {
+		timeout = opts.DialTimeout
+	}
+
+	c := &tcpComm{
+		rank:  rank,
+		size:  size,
+		conns: make([]*peerConn, size),
+		box:   &mailbox{},
+	}
+	c.barCond = sync.NewCond(&c.barMu)
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("mp: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	c.listener = ln
+
+	// Accept from higher ranks and dial lower ranks concurrently.
+	var wg sync.WaitGroup
+	errCh := make(chan error, size)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := rank + 1; i < size; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errCh <- fmt.Errorf("mp: rank %d accept: %w", rank, err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errCh <- fmt.Errorf("mp: rank %d handshake read: %w", rank, err)
+				return
+			}
+			peer := int(int32(binary.BigEndian.Uint32(hello[:])))
+			if err := checkRank(peer, size, "peer"); err != nil {
+				errCh <- err
+				return
+			}
+			c.setConn(peer, conn)
+		}
+	}()
+	for i := 0; i < rank; i++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			deadline := time.Now().Add(timeout)
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errCh <- fmt.Errorf("mp: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			var hello [4]byte
+			binary.BigEndian.PutUint32(hello[:], uint32(int32(rank)))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errCh <- fmt.Errorf("mp: rank %d handshake write: %w", rank, err)
+				return
+			}
+			c.setConn(peer, conn)
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		c.Close()
+		return nil, err
+	default:
+	}
+	// Start one reader per peer.
+	for i, pc := range c.conns {
+		if pc == nil {
+			continue
+		}
+		c.readers.Add(1)
+		go c.readLoop(i, pc)
+	}
+	return c, nil
+}
+
+// peerConn wraps one TCP connection with a write lock.
+type peerConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+type tcpComm struct {
+	rank, size int
+	listener   net.Listener
+	conns      []*peerConn
+	box        *mailbox
+	readers    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// Barrier state: rank 0 coordinates.
+	barMu      sync.Mutex
+	barCond    *sync.Cond
+	barArrived int
+	barGen     int
+}
+
+func (c *tcpComm) setConn(peer int, conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conns[peer] = &peerConn{conn: conn}
+}
+
+func (c *tcpComm) Rank() int { return c.rank }
+func (c *tcpComm) Size() int { return c.size }
+
+// frame layout: src int32 | tag int32 | len int32 | payload.
+func (c *tcpComm) writeFrame(dst, tag int, data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	pc := c.conns[dst]
+	c.mu.Unlock()
+	if pc == nil {
+		return fmt.Errorf("mp: no connection to rank %d", dst)
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(int32(c.rank)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(tag)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(int32(len(data))))
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	if _, err := pc.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := pc.conn.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *tcpComm) readLoop(peer int, pc *peerConn) {
+	defer c.readers.Done()
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(pc.conn, hdr[:]); err != nil {
+			return // connection closed
+		}
+		src := int(int32(binary.BigEndian.Uint32(hdr[0:4])))
+		tag := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+		n := int(int32(binary.BigEndian.Uint32(hdr[8:12])))
+		data := make([]byte, n)
+		if _, err := io.ReadFull(pc.conn, data); err != nil {
+			return
+		}
+		if tag < 0 {
+			c.handleControl(src, tag)
+			continue
+		}
+		_ = c.box.deliver(&envelope{src: src, tag: tag, data: data})
+	}
+}
+
+func (c *tcpComm) handleControl(src, tag int) {
+	switch tag {
+	case ctlBarrierArrive: // only rank 0 receives these
+		c.barMu.Lock()
+		c.barArrived++
+		c.barCond.Broadcast()
+		c.barMu.Unlock()
+	case ctlBarrierRelease: // non-zero ranks
+		c.barMu.Lock()
+		c.barGen++
+		c.barCond.Broadcast()
+		c.barMu.Unlock()
+	}
+}
+
+func (c *tcpComm) Send(dst, tag int, data []byte) error {
+	req, err := c.Isend(dst, tag, data)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+func (c *tcpComm) Isend(dst, tag int, data []byte) (Request, error) {
+	if err := checkRank(dst, c.size, "destination"); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return nil, err
+	}
+	if dst == c.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		err := c.box.deliver(&envelope{src: c.rank, tag: tag, data: cp})
+		return sendReq{err: err}, err
+	}
+	err := c.writeFrame(dst, tag, data)
+	return sendReq{err: err}, err
+}
+
+func (c *tcpComm) Recv(src, tag int, buf []byte) (Status, error) {
+	req, err := c.Irecv(src, tag, buf)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+func (c *tcpComm) Irecv(src, tag int, buf []byte) (Request, error) {
+	if err := checkSource(src, c.size); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag, true); err != nil {
+		return nil, err
+	}
+	op := newRecvOp(src, tag, buf)
+	if err := c.box.post(op); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// Barrier: ranks send an arrive frame to rank 0; rank 0 waits for size−1
+// arrivals plus itself, then broadcasts release frames.
+func (c *tcpComm) Barrier() error {
+	if c.size == 1 {
+		return nil
+	}
+	if c.rank == 0 {
+		c.barMu.Lock()
+		for c.barArrived < c.size-1 {
+			c.barCond.Wait()
+		}
+		c.barArrived -= c.size - 1
+		c.barMu.Unlock()
+		for i := 1; i < c.size; i++ {
+			if err := c.writeFrame(i, ctlBarrierRelease, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c.barMu.Lock()
+	gen := c.barGen
+	c.barMu.Unlock()
+	if err := c.writeFrame(0, ctlBarrierArrive, nil); err != nil {
+		return err
+	}
+	c.barMu.Lock()
+	for c.barGen == gen {
+		c.barCond.Wait()
+	}
+	c.barMu.Unlock()
+	return nil
+}
+
+func (c *tcpComm) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := append([]*peerConn(nil), c.conns...)
+	c.mu.Unlock()
+	if c.listener != nil {
+		c.listener.Close()
+	}
+	for _, pc := range conns {
+		if pc != nil {
+			pc.conn.Close()
+		}
+	}
+	c.box.close()
+	c.readers.Wait()
+	return nil
+}

@@ -1,0 +1,202 @@
+package mp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n distinct loopback ports by listening and closing.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// launchTCP runs fn on n TCP-connected ranks (one goroutine per rank,
+// separate sockets — the same code path a multi-process deployment uses).
+func launchTCP(t *testing.T, n int, fn func(c Comm) error) error {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := ConnectTCP(rank, n, addrs, nil)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			errs[rank] = fn(c)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("rank %d: %w", i, e)
+		}
+	}
+	return nil
+}
+
+func TestTCPValidation(t *testing.T) {
+	if _, err := ConnectTCP(0, 0, nil, nil); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := ConnectTCP(3, 2, []string{"a", "b"}, nil); err == nil {
+		t.Error("rank out of range accepted")
+	}
+	if _, err := ConnectTCP(0, 2, []string{"only-one"}, nil); err == nil {
+		t.Error("short address list accepted")
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	err := launchTCP(t, 2, func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 4, []byte("over tcp"))
+		}
+		buf := make([]byte, 32)
+		st, err := c.Recv(0, 4, buf)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(buf[:st.Bytes], []byte("over tcp")) {
+			return fmt.Errorf("got %q", buf[:st.Bytes])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	err := launchTCP(t, 2, func(c Comm) error {
+		if err := c.Send(c.Rank(), 1, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		buf := make([]byte, 1)
+		st, err := c.Recv(c.Rank(), 1, buf)
+		if err != nil {
+			return err
+		}
+		if st.Source != c.Rank() || buf[0] != byte(c.Rank()) {
+			return fmt.Errorf("self-send mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPNonBlockingAndWildcard(t *testing.T) {
+	err := launchTCP(t, 3, func(c Comm) error {
+		if c.Rank() != 2 {
+			req, err := c.Isend(2, 9, []byte{byte(10 + c.Rank())})
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		got := map[byte]bool{}
+		for i := 0; i < 2; i++ {
+			buf := make([]byte, 1)
+			if _, err := c.Recv(AnySource, AnyTag, buf); err != nil {
+				return err
+			}
+			got[buf[0]] = true
+		}
+		if !got[10] || !got[11] {
+			return fmt.Errorf("missing payloads: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPBarrier(t *testing.T) {
+	err := launchTCP(t, 4, func(c Comm) error {
+		for round := 0; round < 5; round++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPOrdering(t *testing.T) {
+	const n = 50
+	err := launchTCP(t, 2, func(c Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 1, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			buf := make([]byte, 1)
+			if _, err := c.Recv(0, 1, buf); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("out of order at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	err := launchTCP(t, 2, func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, payload)
+		}
+		buf := make([]byte, len(payload))
+		st, err := c.Recv(0, 1, buf)
+		if err != nil {
+			return err
+		}
+		if st.Bytes != len(payload) || !bytes.Equal(buf, payload) {
+			return fmt.Errorf("large payload corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package schedule implements linear time schedules for tiled iteration
+// spaces (Sections 2.5, 3 and 4 of the paper).
+//
+// A linear schedule Π assigns tile j^S the execution step
+//
+//	t(j^S) = ⌊(Π·j^S + t₀) / dispΠ⌋ ,  t₀ = −min{Π·j : j ∈ J^S},
+//	dispΠ = min{Π·d : d ∈ D^S}
+//
+// Two schedules matter here:
+//
+//   - the non-overlapping optimal schedule Π = (1, 1, …, 1) for the unit
+//     dependence matrix of the tiled space (Hodzic & Shang), in which each
+//     step is a full receive→compute→send triplet, and
+//   - the overlapping schedule with coefficient 1 along the processor
+//     mapping dimension and 2 along every other dimension
+//     (t = 2j₁+…+2j_{i−1}+j_i+2j_{i+1}+…+2j_n), which permits computation
+//     at step k to overlap the send of step k−1's results and the receive
+//     of step k+1's inputs (Section 4, after Andronikos et al.'s UET-UCT
+//     optimality result).
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/space"
+)
+
+// Linear is a linear time schedule defined by the row vector Π.
+type Linear struct {
+	Pi ilmath.Vec
+}
+
+// NewLinear builds a linear schedule from Π. Π must be non-empty.
+func NewLinear(pi ilmath.Vec) (*Linear, error) {
+	if pi.Dim() == 0 {
+		return nil, fmt.Errorf("schedule: empty Π")
+	}
+	return &Linear{Pi: pi.Clone()}, nil
+}
+
+// NonOverlapping returns the optimal linear schedule Π = (1,…,1) for the
+// tiled space with unit dependence vectors (Section 3).
+func NonOverlapping(n int) *Linear {
+	pi := make(ilmath.Vec, n)
+	for i := range pi {
+		pi[i] = 1
+	}
+	return &Linear{Pi: pi}
+}
+
+// Overlapping returns the modified linear schedule of Section 4 with
+// processor mapping along dimension mapDim: coefficient 1 at mapDim and 2
+// elsewhere.
+func Overlapping(n, mapDim int) (*Linear, error) {
+	if mapDim < 0 || mapDim >= n {
+		return nil, fmt.Errorf("schedule: mapDim %d out of range [0,%d)", mapDim, n)
+	}
+	pi := make(ilmath.Vec, n)
+	for i := range pi {
+		pi[i] = 2
+	}
+	pi[mapDim] = 1
+	return &Linear{Pi: pi}, nil
+}
+
+// Dim returns the dimension of the schedule vector.
+func (l *Linear) Dim() int { return l.Pi.Dim() }
+
+// Disp returns dispΠ = min{Π·d : d ∈ D}, the schedule displacement. A valid
+// schedule requires Disp ≥ 1.
+func (l *Linear) Disp(d *deps.Set) (int64, error) {
+	if d.Dim() != l.Dim() {
+		return 0, fmt.Errorf("schedule: dependence dimension %d != schedule dimension %d", d.Dim(), l.Dim())
+	}
+	min := l.Pi.Dot(d.At(0))
+	for i := 1; i < d.Len(); i++ {
+		if v := l.Pi.Dot(d.At(i)); v < min {
+			min = v
+		}
+	}
+	return min, nil
+}
+
+// Valid reports whether Π is a valid schedule for dependence set d:
+// Π·d ≥ 1 for every dependence vector.
+func (l *Linear) Valid(d *deps.Set) bool {
+	disp, err := l.Disp(d)
+	return err == nil && disp >= 1
+}
+
+// minMaxOver returns the minimum and maximum of Π·j over the box s, using
+// the per-component sign of Π.
+func (l *Linear) minMaxOver(s *space.Space) (min, max int64) {
+	for i, c := range l.Pi {
+		a, b := c*s.Lower[i], c*s.Upper[i]
+		if a > b {
+			a, b = b, a
+		}
+		min += a
+		max += b
+	}
+	return min, max
+}
+
+// T0 returns t₀ = −min{Π·j : j ∈ s}, the offset that makes the first step 0.
+func (l *Linear) T0(s *space.Space) int64 {
+	min, _ := l.minMaxOver(s)
+	return -min
+}
+
+// Time returns the execution step of point j in space s under dependence
+// set d: ⌊(Π·j + t₀)/dispΠ⌋.
+func (l *Linear) Time(j ilmath.Vec, s *space.Space, d *deps.Set) (int64, error) {
+	disp, err := l.Disp(d)
+	if err != nil {
+		return 0, err
+	}
+	if disp < 1 {
+		return 0, fmt.Errorf("schedule: Π = %v invalid for %v (dispΠ = %d)", l.Pi, d, disp)
+	}
+	return floorDiv(l.Pi.Dot(j)+l.T0(s), disp), nil
+}
+
+// Length returns the number of time steps P needed to execute space s under
+// dependence set d: t(last) − t(first) + 1.
+func (l *Linear) Length(s *space.Space, d *deps.Set) (int64, error) {
+	disp, err := l.Disp(d)
+	if err != nil {
+		return 0, err
+	}
+	if disp < 1 {
+		return 0, fmt.Errorf("schedule: Π = %v invalid for %v (dispΠ = %d)", l.Pi, d, disp)
+	}
+	min, max := l.minMaxOver(s)
+	return floorDiv(max-min, disp) + 1, nil
+}
+
+// ByTime groups every point of s by its execution step, returning the
+// wavefronts in increasing time order. Intended for tiled spaces (volumes up
+// to a few hundred thousand tiles), not raw iteration spaces.
+func (l *Linear) ByTime(s *space.Space, d *deps.Set) ([][]ilmath.Vec, error) {
+	length, err := l.Length(s, d)
+	if err != nil {
+		return nil, err
+	}
+	disp, _ := l.Disp(d)
+	t0 := l.T0(s)
+	waves := make([][]ilmath.Vec, length)
+	s.Points(func(j ilmath.Vec) bool {
+		t := floorDiv(l.Pi.Dot(j)+t0, disp)
+		waves[t] = append(waves[t], j.Clone())
+		return true
+	})
+	return waves, nil
+}
+
+// String renders the schedule vector.
+func (l *Linear) String() string { return "Π=" + l.Pi.String() }
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,118 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/space"
+)
+
+// OptimalLinear searches exhaustively over schedule vectors with
+// coefficients in [0, maxCoef] for the valid linear schedule of minimum
+// length over space s with dependence set d (Shang & Fortes' time-optimal
+// linear schedule, by enumeration — fine for the small dimensions of loop
+// nests). Ties prefer lexicographically smaller Π.
+func OptimalLinear(s *space.Space, d *deps.Set, maxCoef int64) (*Linear, int64, error) {
+	if maxCoef < 1 {
+		return nil, 0, fmt.Errorf("schedule: maxCoef must be >= 1")
+	}
+	n := s.Dim()
+	if d.Dim() != n {
+		return nil, 0, fmt.Errorf("schedule: dependence dimension %d != space dimension %d", d.Dim(), n)
+	}
+	var best *Linear
+	var bestLen int64
+	pi := make(ilmath.Vec, n)
+	var rec func(dim int) error
+	rec = func(dim int) error {
+		if dim == n {
+			l := &Linear{Pi: pi.Clone()}
+			if !l.Valid(d) {
+				return nil
+			}
+			length, err := l.Length(s, d)
+			if err != nil {
+				return err
+			}
+			if best == nil || length < bestLen {
+				best = l
+				bestLen = length
+			}
+			return nil
+		}
+		for c := int64(0); c <= maxCoef; c++ {
+			pi[dim] = c
+			if err := rec(dim + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, 0, err
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("schedule: no valid Π with coefficients <= %d for %v", maxCoef, d)
+	}
+	return best, bestLen, nil
+}
+
+// UETMakespan returns the optimal makespan of a unit-execution-time grid
+// task graph over space s (unit dependences, free communication): the
+// wavefront count Σ(u_d − l_d) + 1.
+func UETMakespan(s *space.Space) int64 {
+	var t int64 = 1
+	for d := 0; d < s.Dim(); d++ {
+		t += s.Upper[d] - s.Lower[d]
+	}
+	return t
+}
+
+// UETUCTMakespanFor returns the makespan of the UET-UCT (unit execution,
+// unit communication) schedule of Andronikos et al. [1] when all points
+// along dimension mapDim are assigned to the same processor:
+//
+//	2·Σ_{d≠mapDim}(u_d − l_d) + (u_mapDim − l_mapDim) + 1
+func UETUCTMakespanFor(s *space.Space, mapDim int) (int64, error) {
+	if mapDim < 0 || mapDim >= s.Dim() {
+		return 0, fmt.Errorf("schedule: mapDim %d out of range", mapDim)
+	}
+	var t int64 = 1
+	for d := 0; d < s.Dim(); d++ {
+		e := s.Upper[d] - s.Lower[d]
+		if d == mapDim {
+			t += e
+		} else {
+			t += 2 * e
+		}
+	}
+	return t, nil
+}
+
+// UETUCTMakespan returns the optimal UET-UCT makespan over all mapping
+// choices — attained by mapping along the largest dimension, the result the
+// paper's overlapping schedule builds on.
+func UETUCTMakespan(s *space.Space) int64 {
+	best, _ := UETUCTMakespanFor(s, 0)
+	for d := 1; d < s.Dim(); d++ {
+		if t, _ := UETUCTMakespanFor(s, d); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// OptimalOverlapMapping returns the mapping dimension minimizing the
+// overlapped schedule length (ties to the first), together with that
+// length. It equals the largest-extent dimension.
+func OptimalOverlapMapping(s *space.Space) (int, int64) {
+	bestDim := 0
+	bestLen, _ := UETUCTMakespanFor(s, 0)
+	for d := 1; d < s.Dim(); d++ {
+		if t, _ := UETUCTMakespanFor(s, d); t < bestLen {
+			bestDim, bestLen = d, t
+		}
+	}
+	return bestDim, bestLen
+}

@@ -1,0 +1,170 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/space"
+)
+
+func TestOptimalLinearUnitDeps(t *testing.T) {
+	// For unit dependences on any box, Π = (1,…,1) is optimal (Section 3).
+	s := space.MustRect(6, 4, 3)
+	l, length, err := OptimalLinear(s, deps.Unit(3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Pi.Equal(ilmath.V(1, 1, 1)) {
+		t.Errorf("Π = %v, want (1,1,1)", l.Pi)
+	}
+	if length != 5+3+2+1 {
+		t.Errorf("length = %d, want 11", length)
+	}
+}
+
+func TestOptimalLinearExploitsDisp(t *testing.T) {
+	// D = {(2,0),(0,2)}: Π = (1,1) has dispΠ = 2, halving the step count —
+	// the search must find a schedule of length ⌈(u1+u2)/2⌉+1.
+	s := space.MustRect(9, 9)
+	d := deps.MustNewSet(ilmath.V(2, 0), ilmath.V(0, 2))
+	_, length, err := OptimalLinear(s, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 9 { // (8+8)/2 + 1
+		t.Errorf("length = %d, want 9", length)
+	}
+}
+
+func TestOptimalLinearSkewedDeps(t *testing.T) {
+	// D = {(1,-1),(1,0),(1,1)} (wavefront): Π must weight dim 0 enough to
+	// stay valid, e.g. (1,0) or (2,1). On a wide box the optimum is (1,0)
+	// with length u1+1.
+	s := space.MustRect(10, 100)
+	d := deps.MustNewSet(ilmath.V(1, -1), ilmath.V(1, 0), ilmath.V(1, 1))
+	l, length, err := OptimalLinear(s, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Valid(d) {
+		t.Fatal("search returned invalid schedule")
+	}
+	if length != 10 {
+		t.Errorf("length = %d (Π = %v), want 10", length, l.Pi)
+	}
+}
+
+func TestOptimalLinearNoValidSchedule(t *testing.T) {
+	// With maxCoef too small to satisfy Π·d ≥ 1 for d = (1,-3) and (0,1),
+	// coefficients in [0,1] admit... Π=(1,0) gives Π·(0,1)=0 invalid;
+	// Π=(1,1): Π·(1,-3) = -2 invalid; Π=(0,1): Π·(1,-3) = -3. None valid.
+	s := space.MustRect(4, 4)
+	d := deps.MustNewSet(ilmath.V(1, -3), ilmath.V(0, 1))
+	if _, _, err := OptimalLinear(s, d, 1); err == nil {
+		t.Error("expected no valid schedule with maxCoef 1")
+	}
+	// With maxCoef 4, Π = (4,1) works.
+	l, _, err := OptimalLinear(s, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Valid(d) {
+		t.Error("returned schedule invalid")
+	}
+}
+
+func TestOptimalLinearArgValidation(t *testing.T) {
+	s := space.MustRect(4, 4)
+	if _, _, err := OptimalLinear(s, deps.Unit(2), 0); err == nil {
+		t.Error("maxCoef 0 accepted")
+	}
+	if _, _, err := OptimalLinear(s, deps.Unit(3), 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestUETMakespan(t *testing.T) {
+	if got := UETMakespan(space.MustRect(4, 4, 37)); got != 3+3+36+1 {
+		t.Errorf("UET = %d, want 43", got)
+	}
+	neg := space.MustNew(ilmath.V(-2, 0), ilmath.V(2, 3))
+	if got := UETMakespan(neg); got != 4+3+1 {
+		t.Errorf("UET = %d, want 8", got)
+	}
+}
+
+func TestUETUCTMakespanFor(t *testing.T) {
+	s := space.MustRect(4, 4, 37)
+	// Map along k (dim 2): 2·3 + 2·3 + 36 + 1 = 49.
+	if got, err := UETUCTMakespanFor(s, 2); err != nil || got != 49 {
+		t.Errorf("UETUCT(map 2) = %d, %v; want 49", got, err)
+	}
+	// Map along i: 3 + 2·3 + 2·36 + 1 = 82.
+	if got, _ := UETUCTMakespanFor(s, 0); got != 82 {
+		t.Errorf("UETUCT(map 0) = %d, want 82", got)
+	}
+	if _, err := UETUCTMakespanFor(s, 5); err == nil {
+		t.Error("out-of-range mapDim accepted")
+	}
+}
+
+func TestUETUCTOptimalIsLargestDim(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		s := space.MustRect(r.Int63n(20)+1, r.Int63n(20)+1, r.Int63n(20)+1)
+		dim, length := OptimalOverlapMapping(s)
+		// The returned length must equal the min over all mapping dims, and
+		// the largest dimension must achieve it.
+		if length != UETUCTMakespan(s) {
+			t.Fatalf("OptimalOverlapMapping length %d != UETUCTMakespan %d", length, UETUCTMakespan(s))
+		}
+		largest := s.LargestDim()
+		tl, _ := UETUCTMakespanFor(s, largest)
+		if tl != length {
+			t.Fatalf("largest-dim mapping %d not optimal for %v (got %d via dim %d)",
+				tl, s, length, dim)
+		}
+	}
+}
+
+// TestOverlapScheduleMatchesUETUCT: the paper's overlapping linear schedule
+// realizes exactly the UET-UCT optimal makespan of Andronikos et al. for
+// every mapping dimension.
+func TestOverlapScheduleMatchesUETUCT(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		s := space.MustRect(r.Int63n(12)+1, r.Int63n(12)+1, r.Int63n(12)+1)
+		for d := 0; d < 3; d++ {
+			ov, err := Overlapping(3, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ov.Length(s, deps.Unit(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := UETUCTMakespanFor(s, d)
+			if got != want {
+				t.Fatalf("overlap schedule length %d != UET-UCT %d for %v map %d", got, want, s, d)
+			}
+		}
+	}
+}
+
+// TestNonOverlapScheduleMatchesUET: Π = (1,…,1) realizes the UET wavefront
+// makespan.
+func TestNonOverlapScheduleMatchesUET(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		s := space.MustRect(r.Int63n(12)+1, r.Int63n(12)+1)
+		got, err := NonOverlapping(2).Length(s, deps.Unit(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != UETMakespan(s) {
+			t.Fatalf("non-overlap length %d != UET %d for %v", got, UETMakespan(s), s)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ilmath"
+	"repro/internal/simnet"
+)
+
+// builder constructs the simnet activity graph for one Config.
+type builder struct {
+	cfg      Config
+	eng      *simnet.Engine
+	nodes    []node
+	bus      *simnet.Resource // the single medium in SharedBus mode
+	numTiles int
+
+	// msgs indexes every cross-processor message by "from>to" tile pair.
+	msgs map[string]*message
+	// inbox[proc][localStep] lists messages consumed by that tile.
+	inbox map[int64]map[int64][]*message
+	// outbox[proc][localStep] lists messages produced by that tile.
+	outbox map[int64]map[int64][]*message
+	// computeActs[tileKey] is the A2 activity of each tile.
+	computeActs map[string]*simnet.Activity
+	// pending holds consumption edges whose producing message had not been
+	// issued yet at construction time.
+	pending []pendingEdge
+}
+
+func newBuilder(cfg Config) *builder {
+	return &builder{
+		cfg:         cfg,
+		eng:         simnet.NewEngine(),
+		msgs:        make(map[string]*message),
+		inbox:       make(map[int64]map[int64][]*message),
+		outbox:      make(map[int64]map[int64][]*message),
+		computeActs: make(map[string]*simnet.Activity),
+	}
+}
+
+// speed returns node p's CPU speed factor (1.0 when homogeneous).
+func (b *builder) speed(p int64) float64 {
+	if b.cfg.NodeSpeed == nil {
+		return 1
+	}
+	return b.cfg.NodeSpeed(p)
+}
+
+func msgKey(from, to ilmath.Vec) string { return from.String() + ">" + to.String() }
+
+func (b *builder) build() error {
+	b.eng.KeepTrace(b.cfg.Trace)
+	b.makeNodes()
+	b.collectMessages()
+	switch b.cfg.Mode {
+	case Blocking:
+		b.buildBlocking()
+	case Overlapped:
+		b.buildOverlapped()
+	}
+	return nil
+}
+
+// makeNodes creates the per-processor resources according to the hardware
+// capability.
+func (b *builder) makeNodes() {
+	n := b.cfg.Topo.Map.NumProcs()
+	b.nodes = make([]node, n)
+	if b.cfg.Network == SharedBus {
+		b.bus = b.eng.NewResource("bus")
+	}
+	for p := int64(0); p < n; p++ {
+		cpu := b.eng.NewResource(fmt.Sprintf("cpu%d", p))
+		var in, out *simnet.Resource
+		switch b.cfg.Cap {
+		case CapFullDuplex:
+			in = b.eng.NewResource(fmt.Sprintf("rx%d", p))
+			out = b.eng.NewResource(fmt.Sprintf("tx%d", p))
+		default: // CapNone, CapDMA: one half-duplex comm channel
+			ch := b.eng.NewResource(fmt.Sprintf("comm%d", p))
+			in, out = ch, ch
+		}
+		b.nodes[p] = node{cpu: cpu, commIn: in, commOut: out}
+	}
+}
+
+// collectMessages enumerates every tile and every tiled dependence, creating
+// a message record for each cross-processor edge and indexing it by the
+// sender's and receiver's local steps.
+func (b *builder) collectMessages() {
+	topo := b.cfg.Topo
+	topo.TileSpace.Points(func(tc ilmath.Vec) bool {
+		b.numTiles++
+		toProc := topo.Map.ProcRank(tc)
+		toStep := topo.Map.LocalStep(tc)
+		for i := 0; i < b.cfg.Deps.Len(); i++ {
+			d := b.cfg.Deps.At(i)
+			from := tc.Sub(d)
+			if !topo.TileSpace.Contains(from) {
+				continue
+			}
+			fromProc := topo.Map.ProcRank(from)
+			if fromProc == toProc {
+				continue // intra-processor dependence: no message
+			}
+			if topo.MsgBytes(from, tc) <= 0 {
+				continue // empty transfer (e.g. an empty tile of a skewed
+				// tiling's bounding box): no message, no dependence edge
+			}
+			m := &message{
+				from:     from.Clone(),
+				to:       tc.Clone(),
+				fromProc: fromProc,
+				toProc:   toProc,
+				bytes:    topo.MsgBytes(from, tc),
+			}
+			b.msgs[msgKey(m.from, m.to)] = m
+			fromStep := topo.Map.LocalStep(m.from)
+			addToIndex(b.outbox, fromProc, fromStep, m)
+			addToIndex(b.inbox, toProc, toStep, m)
+		}
+		return true
+	})
+}
+
+func addToIndex(idx map[int64]map[int64][]*message, proc, step int64, m *message) {
+	if idx[proc] == nil {
+		idx[proc] = make(map[int64][]*message)
+	}
+	idx[proc][step] = append(idx[proc][step], m)
+}
+
+// buildBlocking emits the ProcB structure of Section 5: for every local
+// step, blocking receives (CPU copies in), compute, blocking sends (CPU
+// copies out). The wire transfer itself rides the comm channels.
+//
+// Per message: sender CPU does A1+B3 as one "send" op, then B4 occupies the
+// sender's tx channel and B1 the receiver's rx channel; the receiver's CPU
+// "recv" op (B2+A3) runs when the data has arrived and it is that
+// processor's turn in its program order.
+func (b *builder) buildBlocking() {
+	mch := b.cfg.Machine
+	topo := b.cfg.Topo
+	steps := topo.Map.TilesPerProc()
+	prevCPU := make([]*simnet.Activity, len(b.nodes))
+
+	chain := func(p int64, a *simnet.Activity) *simnet.Activity {
+		if prevCPU[p] != nil {
+			b.eng.AddDep(prevCPU[p], a)
+		}
+		prevCPU[p] = a
+		return a
+	}
+
+	for s := int64(0); s < steps; s++ {
+		b.forEachProc(func(p int64, proc ilmath.Vec) {
+			tc := topo.Map.TileCoord(proc, s)
+			if !topo.TileSpace.Contains(tc) {
+				return
+			}
+			cpu := b.nodes[p].cpu
+			// Blocking receives: copy kernel→user (B2) and prepare the MPI
+			// buffer (A3) on the CPU, after the data hit the wire's end.
+			for _, m := range b.inbox[p][s] {
+				recv := b.eng.NewActivity(cpu,
+					(mch.FillKernel(m.bytes)+mch.FillMPI(m.bytes))/b.speed(p),
+					fmt.Sprintf("recv%v<-%v", m.to, m.from))
+				chain(p, recv)
+				b.eng.AddDep(b.ensureWire(m), recv)
+				m.dataReady = recv
+			}
+			// Compute.
+			comp := b.eng.NewActivity(cpu,
+				float64(topo.TileVolume(tc))*mch.Tc/b.speed(p),
+				fmt.Sprintf("compute%v", tc))
+			chain(p, comp)
+			b.computeActs[tc.String()] = comp
+			// Blocking sends: fill MPI buffer (A1) + kernel copy (B3) on
+			// CPU, then the wire stages.
+			for _, m := range b.outbox[p][s] {
+				send := b.eng.NewActivity(cpu,
+					(mch.FillMPI(m.bytes)+mch.FillKernel(m.bytes))/b.speed(p),
+					fmt.Sprintf("send%v->%v", m.from, m.to))
+				chain(p, send)
+				b.eng.AddDep(comp, send)
+				b.queueWire(m, send)
+			}
+		})
+	}
+	// Consumption edges are implicit: each tile's inbound receive ops
+	// precede its compute in the same step's CPU chain, and the inbox is
+	// indexed by the consuming step, so no cross-step edges remain.
+}
+
+// buildOverlapped emits the ProcNB structure: at local step s the CPU does
+// A1 (sends of step s−1 results), A2 (compute), A3 (posting receives for
+// step s+1); kernel copies ride the DMA engines (or the CPU when the node
+// has none) and the wire rides the comm channels.
+func (b *builder) buildOverlapped() {
+	mch := b.cfg.Machine
+	topo := b.cfg.Topo
+	steps := topo.Map.TilesPerProc()
+	prevCPU := make([]*simnet.Activity, len(b.nodes))
+	// recvPosted[key of message] = the A3 activity that posted its buffer.
+	recvPosted := make(map[string]*simnet.Activity)
+
+	chain := func(p int64, a *simnet.Activity) *simnet.Activity {
+		if prevCPU[p] != nil {
+			b.eng.AddDep(prevCPU[p], a)
+		}
+		prevCPU[p] = a
+		return a
+	}
+
+	postRecv := func(p int64, m *message) {
+		a := b.eng.NewActivity(b.nodes[p].cpu, mch.FillMPI(m.bytes)/b.speed(p),
+			fmt.Sprintf("irecv%v<-%v", m.to, m.from))
+		chain(p, a)
+		recvPosted[msgKey(m.from, m.to)] = a
+	}
+
+	issueSend := func(p int64, m *message) {
+		// A1: CPU fills the MPI send buffer.
+		a1 := b.eng.NewActivity(b.nodes[p].cpu, mch.FillMPI(m.bytes)/b.speed(p),
+			fmt.Sprintf("isend%v->%v", m.from, m.to))
+		chain(p, a1)
+		// The data being sent was produced by the 'from' tile's compute.
+		if comp := b.computeActs[m.from.String()]; comp != nil {
+			b.eng.AddDep(comp, a1)
+		}
+		// B3: kernel copy, on DMA or CPU depending on capability.
+		b3res := b.nodes[p].commOut
+		b3dur := mch.FillKernel(m.bytes)
+		if b.cfg.Cap == CapNone {
+			b3res = b.nodes[p].cpu
+			b3dur /= b.speed(p)
+		}
+		b3 := b.eng.NewActivity(b3res, b3dur,
+			fmt.Sprintf("kcopy-tx%v->%v", m.from, m.to))
+		b.eng.AddDep(a1, b3)
+		// B4 wire out, then B1 wire in at the receiver (or one shared-bus
+		// occupancy).
+		b1 := b.wire(m, b3)
+		// B2: receiver kernel→MPI-buffer copy; requires the posted receive.
+		b2res := b.nodes[m.toProc].commIn
+		b2dur := mch.FillKernel(m.bytes)
+		if b.cfg.Cap == CapNone {
+			b2res = b.nodes[m.toProc].cpu
+			b2dur /= b.speed(m.toProc)
+		}
+		b2 := b.eng.NewActivity(b2res, b2dur,
+			fmt.Sprintf("kcopy-rx%v<-%v", m.to, m.from))
+		b.eng.AddDep(b1, b2)
+		if post := recvPosted[msgKey(m.from, m.to)]; post != nil {
+			b.eng.AddDep(post, b2)
+		}
+		m.dataReady = b2
+		m.sendQueued = true
+	}
+
+	for s := int64(0); s < steps; s++ {
+		b.forEachProc(func(p int64, proc ilmath.Vec) {
+			tc := topo.Map.TileCoord(proc, s)
+			if !topo.TileSpace.Contains(tc) {
+				return
+			}
+			cpu := b.nodes[p].cpu
+			// Prologue at s = 0: post receives for this first tile's own
+			// inputs (the pseudocode pre-posts them before the loop).
+			if s == 0 {
+				for _, m := range b.inbox[p][0] {
+					postRecv(p, m)
+				}
+			}
+			// A1 phase: send the results produced at step s−1.
+			if s > 0 {
+				for _, m := range b.outbox[p][s-1] {
+					issueSend(p, m)
+				}
+			}
+			// A2: compute, gated on all inbound data for this tile.
+			comp := b.eng.NewActivity(cpu,
+				float64(topo.TileVolume(tc))*mch.Tc/b.speed(p),
+				fmt.Sprintf("compute%v", tc))
+			chain(p, comp)
+			b.computeActs[tc.String()] = comp
+			for _, m := range b.inbox[p][s] {
+				if m.dataReady == nil {
+					// Sender has not issued yet (sender's issuing step is
+					// after ours in construction order); defer via a
+					// placeholder resolved below.
+					b.deferConsume(m, comp)
+				} else {
+					b.eng.AddDep(m.dataReady, comp)
+				}
+			}
+			// A3 phase: post receives for step s+1's inputs.
+			for _, m := range b.inbox[p][s+1] {
+				postRecv(p, m)
+			}
+		})
+	}
+	// Epilogue: results of the last local step still have to be sent.
+	b.forEachProc(func(p int64, proc ilmath.Vec) {
+		for _, m := range b.outbox[p][steps-1] {
+			if !m.sendQueued {
+				issueSend(p, m)
+			}
+		}
+	})
+	b.resolveDeferred()
+}
+
+// deferred consumption edges: compute activities waiting for messages whose
+// send pipeline had not been constructed yet at the time the compute was
+// emitted (construction order is by step, then processor; a message's
+// sender may come later in the same step's processor sweep).
+type pendingEdge struct {
+	m    *message
+	comp *simnet.Activity
+}
+
+func (b *builder) deferConsume(m *message, comp *simnet.Activity) {
+	b.pending = append(b.pending, pendingEdge{m: m, comp: comp})
+}
+
+func (b *builder) resolveDeferred() {
+	for _, pe := range b.pending {
+		if pe.m.dataReady == nil {
+			panic(fmt.Sprintf("sim: message %v->%v never issued", pe.m.from, pe.m.to))
+		}
+		b.eng.AddDep(pe.m.dataReady, pe.comp)
+	}
+	b.pending = nil
+}
+
+// wire emits the transmission stage(s) of a message after predecessor pred
+// and returns the arrival activity the receiver side can depend on. On a
+// switched network this is B4 (sender tx port) followed by B1 (receiver rx
+// port); on a shared bus it is a single occupancy of the one medium.
+func (b *builder) wire(m *message, pred *simnet.Activity) *simnet.Activity {
+	b4 := b.eng.NewActivity(b.nodes[m.fromProc].commOut, b.cfg.Machine.Wire(m.bytes),
+		fmt.Sprintf("wire-tx%v->%v", m.from, m.to))
+	if pred != nil {
+		b.eng.AddDep(pred, b4)
+	}
+	last := b4
+	if b.cfg.Network == SharedBus {
+		// The shared medium is an extra arbitration stage between the tx
+		// and rx ports: every message in the cluster serializes through it.
+		w := b.eng.NewActivity(b.bus, b.cfg.Machine.Wire(m.bytes),
+			fmt.Sprintf("wire-bus%v->%v", m.from, m.to))
+		b.eng.AddDep(last, w)
+		last = w
+	}
+	b1 := b.eng.NewActivity(b.nodes[m.toProc].commIn, b.cfg.Machine.Wire(m.bytes),
+		fmt.Sprintf("wire-rx%v<-%v", m.to, m.from))
+	b.eng.AddDep(last, b1)
+	m.wireIn = b1
+	m.wireOut = b4
+	return b1
+}
+
+// ensureWire lazily creates the wire pipeline of a blocking-mode message
+// and returns the arrival activity. The sender CPU op is attached later via
+// queueWire.
+func (b *builder) ensureWire(m *message) *simnet.Activity {
+	if m.wireIn != nil {
+		return m.wireIn
+	}
+	return b.wire(m, nil)
+}
+
+// queueWire attaches the sender's CPU send op as the predecessor of the
+// message's wire pipeline.
+func (b *builder) queueWire(m *message, send *simnet.Activity) {
+	b.ensureWire(m)
+	b.eng.AddDep(send, m.wireOut)
+	m.sendQueued = true
+}
+
+// forEachProc visits processors in rank order.
+func (b *builder) forEachProc(f func(rank int64, proc ilmath.Vec)) {
+	ps := b.cfg.Topo.Map.ProcSpace
+	ps.Points(func(pc ilmath.Vec) bool {
+		f(ps.Linearize(pc), pc.Clone())
+		return true
+	})
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/space"
+)
+
+// Grid2D describes the Example-1 deployment the 2-D runner implements: an
+// I1×I2 iteration space with dependences {(1,1),(1,0),(0,1)}, each of P
+// ranks owning a strip of I2/P columns, tiles of S1 rows marching up the
+// strip. Mapping is along dimension 0; messages flow only to the next
+// strip, carrying S1+1 values per tile (face plus the diagonal's corner),
+// exactly like runner.Run2D.
+type Grid2D struct {
+	I1, I2 int64 // iteration space extents
+	P      int64 // ranks (strips); must divide I2
+	S1     int64 // tile height along dim 0
+}
+
+// Validate checks the configuration.
+func (c Grid2D) Validate() error {
+	if c.I1 <= 0 || c.I2 <= 0 || c.P <= 0 || c.S1 <= 0 {
+		return fmt.Errorf("sim: non-positive Grid2D parameter %+v", c)
+	}
+	if c.I2%c.P != 0 {
+		return fmt.Errorf("sim: %d ranks do not divide %d columns", c.P, c.I2)
+	}
+	if c.S1 > c.I1 {
+		return fmt.Errorf("sim: tile height %d exceeds %d rows", c.S1, c.I1)
+	}
+	return nil
+}
+
+// Tiles1 returns the number of tiles along dim 0 (the last may be partial).
+func (c Grid2D) Tiles1() int64 { return (c.I1 + c.S1 - 1) / c.S1 }
+
+// StripWidth returns the columns per rank.
+func (c Grid2D) StripWidth() int64 { return c.I2 / c.P }
+
+// Topology builds the simulator topology for the strip deployment.
+func (c Grid2D) Topology(bytesPerElem int64) (Topology, error) {
+	if err := c.Validate(); err != nil {
+		return Topology{}, err
+	}
+	if bytesPerElem <= 0 {
+		return Topology{}, fmt.Errorf("sim: non-positive element size")
+	}
+	ts, err := space.Rect(c.Tiles1(), c.P)
+	if err != nil {
+		return Topology{}, err
+	}
+	m, err := schedule.NewMapping(ts, 0) // tiles along dim 0 share a rank
+	if err != nil {
+		return Topology{}, err
+	}
+	height := func(t int64) int64 {
+		if t == c.Tiles1()-1 {
+			return c.I1 - c.S1*(c.Tiles1()-1)
+		}
+		return c.S1
+	}
+	w := c.StripWidth()
+	return Topology{
+		TileSpace: ts,
+		Map:       m,
+		TileVolume: func(tc ilmath.Vec) int64 {
+			return height(tc[0]) * w
+		},
+		MsgBytes: func(from, to ilmath.Vec) int64 {
+			// The face message to the next strip: the tile's rows plus the
+			// diagonal's corner value, as the runner packs it.
+			return (height(from[0]) + 1) * bytesPerElem
+		},
+	}, nil
+}
+
+// Config assembles a full simulation request for the strip deployment. The
+// tiled dependences are those of the Example-1 tiled space: (1,0) within a
+// strip, (0,1) to the next strip, (1,1) diagonal (the corner the runner
+// folds into the face message).
+func (c Grid2D) Config(m model.Machine, mode Mode, cap Capability) (Config, error) {
+	topo, err := c.Topology(m.BytesPerElem)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Topo:    topo,
+		Deps:    deps.MustNewSet(ilmath.V(1, 0), ilmath.V(0, 1)),
+		Machine: m,
+		Mode:    mode,
+		Cap:     cap,
+	}, nil
+}
+
+// Simulate runs one (mode, capability) cell.
+func (c Grid2D) Simulate(m model.Machine, mode Mode, cap Capability) (Result, error) {
+	cfg, err := c.Config(m, mode, cap)
+	if err != nil {
+		return Result{}, err
+	}
+	return Simulate(cfg)
+}
+
+// Example1Grid2D returns the paper's Example 1 deployment: the 10000×1000
+// space with 10×10 tiles on 100 strips (one strip per tile column, the
+// paper's "all tiles along i₁ to the same processor").
+func Example1Grid2D() Grid2D {
+	return Grid2D{I1: 10000, I2: 1000, P: 100, S1: 10}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ilmath"
+	"repro/internal/model"
+)
+
+func TestGrid2DValidate(t *testing.T) {
+	good := Grid2D{I1: 100, I2: 40, P: 4, S1: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for name, bad := range map[string]Grid2D{
+		"zero I1":      {I1: 0, I2: 40, P: 4, S1: 10},
+		"non-dividing": {I1: 100, I2: 41, P: 4, S1: 10},
+		"S1 too tall":  {I1: 100, I2: 40, P: 4, S1: 101},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGrid2DGeometry(t *testing.T) {
+	c := Grid2D{I1: 57, I2: 40, P: 4, S1: 10}
+	if c.Tiles1() != 6 {
+		t.Errorf("Tiles1 = %d, want 6", c.Tiles1())
+	}
+	if c.StripWidth() != 10 {
+		t.Errorf("StripWidth = %d", c.StripWidth())
+	}
+	topo, err := c.Topology(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full tile: 10 rows × 10 cols; partial last tile: 7 rows.
+	if g := topo.TileVolume(ilmath.V(0, 0)); g != 100 {
+		t.Errorf("full tile volume = %d", g)
+	}
+	if g := topo.TileVolume(ilmath.V(5, 0)); g != 70 {
+		t.Errorf("partial tile volume = %d, want 70", g)
+	}
+	// Message: (height+1)·8 bytes.
+	if b := topo.MsgBytes(ilmath.V(0, 0), ilmath.V(0, 1)); b != 11*8 {
+		t.Errorf("face bytes = %d, want 88", b)
+	}
+	if b := topo.MsgBytes(ilmath.V(5, 0), ilmath.V(5, 1)); b != 8*8 {
+		t.Errorf("partial face bytes = %d, want 64", b)
+	}
+}
+
+func TestGrid2DSimulateOverlapWins(t *testing.T) {
+	c := Grid2D{I1: 1000, I2: 100, P: 10, S1: 10}
+	m := model.Example1Machine()
+	ov, err := c.Simulate(m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := c.Simulate(m, Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Makespan >= bl.Makespan {
+		t.Errorf("overlap %g not faster than blocking %g", ov.Makespan, bl.Makespan)
+	}
+	// Messages: (P-1) strip boundaries × Tiles1 messages each.
+	want := int(int64(9) * c.Tiles1())
+	if ov.NumMessages != want {
+		t.Errorf("messages = %d, want %d", ov.NumMessages, want)
+	}
+}
+
+// TestGrid2DExample1FullScale simulates the paper's Example 1 deployment
+// and compares against the analytic eq. 3/4 walk-through: same ballpark
+// (the model assumes steady state; the simulation includes the 100-strip
+// pipeline fill).
+func TestGrid2DExample1FullScale(t *testing.T) {
+	c := Example1Grid2D()
+	m := model.Example1Machine()
+	ov, err := c.Simulate(m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := c.Simulate(m, Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: 0.400036 s and 0.273 s. The simulated values must be
+	// within 35% of those (strip messages carry s1+1 = 11 points vs the
+	// model's formula-(2) 20, and pipeline fill adds steps).
+	if rel(bl.Makespan, 0.400036) > 0.35 {
+		t.Errorf("blocking sim %g vs model 0.400 diverge", bl.Makespan)
+	}
+	if rel(ov.Makespan, 0.273144) > 0.35 {
+		t.Errorf("overlap sim %g vs model 0.273 diverge", ov.Makespan)
+	}
+	if ov.Makespan >= bl.Makespan {
+		t.Error("overlap lost at full scale")
+	}
+	imp := 1 - ov.Makespan/bl.Makespan
+	if imp < 0.15 || imp > 0.55 {
+		t.Errorf("improvement %.0f%% outside plausible band", imp*100)
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}

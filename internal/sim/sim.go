@@ -1,0 +1,240 @@
+// Package sim executes tiled schedules on the simnet discrete-event cluster
+// simulator, reproducing the paper's Section 5 experiments deterministically.
+//
+// It builds, for every tile, the phase decomposition of Fig. 4:
+//
+//	A1 = T_fill_MPI_buffer(send)    — CPU, non-overlappable
+//	A2 = T_compute                  — CPU
+//	A3 = T_fill_MPI_buffer(receive) — CPU, non-overlappable
+//	B1 = T_receive (wire, rx side)  — NIC in
+//	B2 = T_fill_kernel_buffer(recv) — DMA (or CPU without DMA)
+//	B3 = T_fill_kernel_buffer(send) — DMA (or CPU without DMA)
+//	B4 = T_transmit (wire, tx side) — NIC out
+//
+// and wires them into an activity DAG according to either the blocking
+// receive→compute→send triplet of Section 3 (ProcB) or the pipelined
+// send/compute/receive overlap of Section 4 (ProcNB).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/simnet"
+	"repro/internal/space"
+)
+
+// Mode selects which of the paper's two execution schemes to simulate.
+type Mode int
+
+const (
+	// Blocking is the non-overlapping schedule of Section 3: each step is a
+	// serial receive→compute→send triplet using blocking primitives; all
+	// copies burn CPU.
+	Blocking Mode = iota
+	// Overlapped is the pipelined schedule of Section 4 using non-blocking
+	// primitives: at step k the CPU computes tile k while the communication
+	// hardware sends tile k−1's results and receives tile k+1's inputs.
+	Overlapped
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Blocking:
+		return "blocking"
+	case Overlapped:
+		return "overlapped"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Capability describes how much communication the node hardware can run
+// concurrently with the CPU (Fig. 3 of the paper).
+type Capability int
+
+const (
+	// CapNone: no DMA support — kernel buffer copies execute on the CPU and
+	// only the wire time itself is off-CPU (Fig. 3a with minimal overlap).
+	CapNone Capability = iota
+	// CapDMA: a single DMA/comm engine per node performs kernel copies and
+	// shares one half-duplex channel for tx and rx (Fig. 3b).
+	CapDMA
+	// CapFullDuplex: independent rx and tx engines (multichannel DMA I/O,
+	// Fig. 3c) — sends and receives themselves overlap.
+	CapFullDuplex
+)
+
+func (c Capability) String() string {
+	switch c {
+	case CapNone:
+		return "no-dma"
+	case CapDMA:
+		return "dma"
+	case CapFullDuplex:
+		return "full-duplex"
+	default:
+		return fmt.Sprintf("Capability(%d)", int(c))
+	}
+}
+
+// Network selects the interconnect contention model.
+type Network int
+
+const (
+	// Switched gives every node its own full-bandwidth port (a switched
+	// FastEthernet, the default): wire transfers of different node pairs
+	// proceed concurrently.
+	Switched Network = iota
+	// SharedBus serializes every wire transfer in the whole cluster on one
+	// medium — a hub/coax Ethernet. The paper's Example 1 cites 10 Mbps
+	// Ethernet; this mode shows how bus contention erodes (and with enough
+	// processors erases) the overlapping schedule's advantage.
+	SharedBus
+)
+
+func (n Network) String() string {
+	switch n {
+	case Switched:
+		return "switched"
+	case SharedBus:
+		return "shared-bus"
+	default:
+		return fmt.Sprintf("Network(%d)", int(n))
+	}
+}
+
+// Topology describes the tiled computation to simulate, independent of the
+// machine model: the tiled space, the processor mapping, the computation
+// volume of each tile and the message size of each tile-to-tile dependence.
+type Topology struct {
+	TileSpace *space.Space
+	Map       *schedule.Mapping
+	// TileVolume returns the number of iteration points of tile tc
+	// (boundary tiles may be smaller than interior ones).
+	TileVolume func(tc ilmath.Vec) int64
+	// MsgBytes returns the message size in bytes for the data flowing from
+	// tile 'from' to tile 'to' (to = from + d for a tiled dependence d).
+	MsgBytes func(from, to ilmath.Vec) int64
+}
+
+// Config is a full simulation request.
+type Config struct {
+	Topo    Topology
+	Deps    *deps.Set // tiled dependence vectors (0/1 components)
+	Machine model.Machine
+	Mode    Mode
+	Cap     Capability
+	Network Network
+	Trace   bool
+	// NodeSpeed optionally scales per-node CPU performance: rank r's
+	// CPU-resident work takes duration/NodeSpeed(r). nil means homogeneous
+	// (all 1.0). Models stragglers in the otherwise identical cluster.
+	NodeSpeed func(rank int64) float64
+}
+
+// Result of one simulation.
+type Result struct {
+	simnet.Result
+	NumTiles    int
+	NumMessages int
+	// CPUUtilization is the mean utilization across all CPU resources — the
+	// paper's "100% processor utilization" claim for the overlapped
+	// schedule is checked against this.
+	CPUUtilization float64
+	// CritPath is the chain of activities fixing the makespan (populated
+	// only when Config.Trace is set); see simnet.CriticalPath.
+	CritPath []simnet.CritStep
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Topo.TileSpace == nil || c.Topo.Map == nil {
+		return fmt.Errorf("sim: topology missing tile space or mapping")
+	}
+	if c.Topo.TileVolume == nil || c.Topo.MsgBytes == nil {
+		return fmt.Errorf("sim: topology missing TileVolume or MsgBytes")
+	}
+	if c.Deps == nil || c.Deps.Dim() != c.Topo.TileSpace.Dim() {
+		return fmt.Errorf("sim: dependence set missing or of wrong dimension")
+	}
+	for _, d := range c.Deps.Vectors() {
+		for _, x := range d {
+			if x != 0 && x != 1 {
+				return fmt.Errorf("sim: tiled dependence %v has non-0/1 component", d)
+			}
+		}
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.Mode != Blocking && c.Mode != Overlapped {
+		return fmt.Errorf("sim: unknown mode %d", int(c.Mode))
+	}
+	if c.Cap != CapNone && c.Cap != CapDMA && c.Cap != CapFullDuplex {
+		return fmt.Errorf("sim: unknown capability %d", int(c.Cap))
+	}
+	if c.Network != Switched && c.Network != SharedBus {
+		return fmt.Errorf("sim: unknown network model %d", int(c.Network))
+	}
+	if c.NodeSpeed != nil {
+		for p := int64(0); p < c.Topo.Map.NumProcs(); p++ {
+			if s := c.NodeSpeed(p); s <= 0 {
+				return fmt.Errorf("sim: non-positive speed %g for node %d", s, p)
+			}
+		}
+	}
+	return nil
+}
+
+// node bundles the per-processor resources.
+type node struct {
+	cpu     *simnet.Resource
+	commIn  *simnet.Resource
+	commOut *simnet.Resource
+}
+
+// message tracks the activity pipeline of one tile-to-tile transfer.
+type message struct {
+	from, to   ilmath.Vec
+	fromProc   int64
+	toProc     int64
+	bytes      int64
+	dataReady  *simnet.Activity // last stage (B2); compute at 'to' depends on it
+	wireIn     *simnet.Activity // B1, used by blocking receive copy
+	wireOut    *simnet.Activity // B4, gated on the sender's CPU send op
+	sendQueued bool
+}
+
+// Simulate runs the configured schedule on the simulated cluster.
+func Simulate(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	b := newBuilder(cfg)
+	if err := b.build(); err != nil {
+		return Result{}, err
+	}
+	res, err := b.eng.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	cpuUtil := 0.0
+	for i := range b.nodes {
+		cpuUtil += res.Utilization[fmt.Sprintf("cpu%d", i)]
+	}
+	cpuUtil /= float64(len(b.nodes))
+	out := Result{
+		Result:         res,
+		NumTiles:       b.numTiles,
+		NumMessages:    len(b.msgs),
+		CPUUtilization: cpuUtil,
+	}
+	if cfg.Trace {
+		out.CritPath = b.eng.CriticalPath()
+	}
+	return out, nil
+}

@@ -1,0 +1,558 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/space"
+)
+
+// testMachine returns a machine with simple round numbers for hand
+// verification.
+func testMachine() model.Machine {
+	return model.Machine{
+		Tc:           1, // 1 s per point: compute dominates visibly
+		Ts:           2,
+		Tt:           0.001,
+		BytesPerElem: 4,
+		FillMPIBase:  0.5, FillMPIPerByte: 0,
+		FillKernelBase: 0.25, FillKernelPerByte: 0,
+	}
+}
+
+// smallGrid is a 4x4x8-point space on a 2x2 processor grid.
+func smallGrid() model.Grid3D {
+	return model.Grid3D{I: 4, J: 4, K: 8, PI: 2, PJ: 2}
+}
+
+func TestGridTopologyValidation(t *testing.T) {
+	c := smallGrid()
+	if _, err := GridTopology(c, 0, 4); err == nil {
+		t.Error("zero tile height accepted")
+	}
+	if _, err := GridTopology(c, 9, 4); err == nil {
+		t.Error("tile height > K accepted")
+	}
+	if _, err := GridTopology(c, 2, 0); err == nil {
+		t.Error("zero element size accepted")
+	}
+	if _, err := GridTopology(model.Grid3D{I: 3, J: 4, K: 8, PI: 2, PJ: 2}, 2, 4); err == nil {
+		t.Error("non-dividing processor grid accepted")
+	}
+}
+
+func TestGridTopologyGeometry(t *testing.T) {
+	topo, err := GridTopology(smallGrid(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.TileSpace.Volume() != 2*2*4 {
+		t.Errorf("tile space volume = %d, want 16", topo.TileSpace.Volume())
+	}
+	if topo.Map.NumProcs() != 4 {
+		t.Errorf("procs = %d, want 4", topo.Map.NumProcs())
+	}
+	// Interior tile: 2x2x2 = 8 points.
+	if g := topo.TileVolume(ilmath.V(0, 0, 0)); g != 8 {
+		t.Errorf("tile volume = %d, want 8", g)
+	}
+	// Face bytes: j×k face = 2·2·4 = 16 bytes.
+	if bts := topo.MsgBytes(ilmath.V(0, 0, 0), ilmath.V(1, 0, 0)); bts != 16 {
+		t.Errorf("i-face bytes = %d, want 16", bts)
+	}
+	if bts := topo.MsgBytes(ilmath.V(0, 0, 0), ilmath.V(0, 1, 0)); bts != 16 {
+		t.Errorf("j-face bytes = %d, want 16", bts)
+	}
+}
+
+func TestGridTopologyPartialLastTile(t *testing.T) {
+	// K = 8, v = 3: tiles of height 3, 3, 2.
+	topo, err := GridTopology(smallGrid(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.TileSpace.Extent(2) != 3 {
+		t.Fatalf("k tiles = %d, want 3", topo.TileSpace.Extent(2))
+	}
+	if g := topo.TileVolume(ilmath.V(0, 0, 0)); g != 2*2*3 {
+		t.Errorf("full tile volume = %d", g)
+	}
+	if g := topo.TileVolume(ilmath.V(0, 0, 2)); g != 2*2*2 {
+		t.Errorf("partial tile volume = %d, want 8", g)
+	}
+	// Total volume conserved.
+	var total int64
+	topo.TileSpace.Points(func(tc ilmath.Vec) bool {
+		total += topo.TileVolume(tc)
+		return true
+	})
+	if total != 4*4*8 {
+		t.Errorf("total tile volume = %d, want 128", total)
+	}
+}
+
+func TestSimulateSingleProcessorNoComm(t *testing.T) {
+	// 1x1 processor grid: no messages; makespan = total compute.
+	c := model.Grid3D{I: 2, J: 2, K: 4, PI: 1, PJ: 1}
+	m := testMachine()
+	for _, mode := range []Mode{Blocking, Overlapped} {
+		r, err := SimulateGrid(c, 2, m, mode, CapDMA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumMessages != 0 {
+			t.Errorf("%v: %d messages on single processor", mode, r.NumMessages)
+		}
+		want := float64(2*2*4) * m.Tc
+		if r.Makespan != want {
+			t.Errorf("%v: makespan = %g, want %g", mode, r.Makespan, want)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := Config{}
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("empty config accepted")
+	}
+	good, err := GridConfig(smallGrid(), 2, testMachine(), Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Mode = Mode(99)
+	if _, err := Simulate(bad); err == nil {
+		t.Error("bad mode accepted")
+	}
+	bad = good
+	bad.Cap = Capability(99)
+	if _, err := Simulate(bad); err == nil {
+		t.Error("bad capability accepted")
+	}
+	bad = good
+	bad.Deps = deps.MustNewSet(ilmath.V(2, 0, 0))
+	if _, err := Simulate(bad); err == nil {
+		t.Error("non-0/1 tiled dependence accepted")
+	}
+	bad = good
+	bad.Machine.Tc = -1
+	if _, err := Simulate(bad); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestBlockingMatchesHandComputation(t *testing.T) {
+	// 1x2 processor grid (PI=1, PJ=2), K=2, v=2: one tile per processor.
+	// P0 owns tile (0,0,0); P1 owns (0,1,0) and needs P0's j-face.
+	// Machine: compute = 8 points ·1 s; fills: MPI 0.5 + kernel 0.25 per
+	// message; wire = 16 B · 0.001 = 0.016 per side.
+	// Timeline: P0 computes [0,8], send copy [8, 8.75], wire tx
+	// [8.75, 8.766], wire rx [8.766, 8.782], P1 recv copy (after wire)
+	// [8.782, 9.532], P1 compute [9.532, 17.532].
+	c := model.Grid3D{I: 2, J: 4, K: 2, PI: 1, PJ: 2}
+	m := testMachine()
+	r, err := SimulateGrid(c, 2, m, Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumMessages != 1 {
+		t.Fatalf("messages = %d, want 1", r.NumMessages)
+	}
+	want := 8.0 + 0.75 + 0.016 + 0.016 + 0.75 + 8.0
+	if !almost(r.Makespan, want) {
+		t.Errorf("makespan = %g, want %g", r.Makespan, want)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestOverlappedPipelinesAcrossSteps(t *testing.T) {
+	// Single processor pair in j, many k tiles: the overlapped schedule
+	// must hide the communication behind compute, approaching
+	// makespan ≈ offset + steps·computePerTile when compute dominates.
+	c := model.Grid3D{I: 2, J: 4, K: 32, PI: 1, PJ: 2}
+	m := testMachine()
+	ov, err := SimulateGrid(c, 2, m, Overlapped, CapFullDuplex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := SimulateGrid(c, 2, m, Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Makespan >= bl.Makespan {
+		t.Errorf("overlapped %g not faster than blocking %g", ov.Makespan, bl.Makespan)
+	}
+	// Lower bound: one processor's pure compute work.
+	minWork := float64(2 * 2 * 32) // points per processor · 1 s
+	if ov.Makespan < minWork {
+		t.Errorf("makespan %g below single-processor compute %g: impossible", ov.Makespan, minWork)
+	}
+}
+
+func TestOverlapBeatsBlockingOnPaperGrid(t *testing.T) {
+	// A scaled-down version of the paper's experiment i: overlap must win
+	// and CPU utilization must rise.
+	c := model.Grid3D{I: 8, J: 8, K: 256, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	v := int64(16)
+	bl, err := SimulateGrid(c, v, m, Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := SimulateGrid(c, v, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Makespan >= bl.Makespan {
+		t.Errorf("overlapped %g >= blocking %g", ov.Makespan, bl.Makespan)
+	}
+	// Utilization is time-busy/makespan; blocking CPUs are "busy" doing
+	// copies too, so only sanity bounds are meaningful here.
+	for name, u := range map[string]float64{"overlap": ov.CPUUtilization, "blocking": bl.CPUUtilization} {
+		if u <= 0 || u > 1 {
+			t.Errorf("%s CPU utilization %g out of (0,1]", name, u)
+		}
+	}
+}
+
+func TestCapabilityOrdering(t *testing.T) {
+	// More overlap capability can never hurt: none >= dma >= full-duplex
+	// in makespan.
+	c := model.Grid3D{I: 8, J: 8, K: 128, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	v := int64(8)
+	makespan := map[Capability]float64{}
+	for _, cap := range []Capability{CapNone, CapDMA, CapFullDuplex} {
+		r, err := SimulateGrid(c, v, m, Overlapped, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		makespan[cap] = r.Makespan
+	}
+	if makespan[CapNone] < makespan[CapDMA] || makespan[CapDMA] < makespan[CapFullDuplex] {
+		t.Errorf("capability ordering violated: none=%g dma=%g duplex=%g",
+			makespan[CapNone], makespan[CapDMA], makespan[CapFullDuplex])
+	}
+}
+
+func TestDeterministicRepeats(t *testing.T) {
+	c := smallGrid()
+	m := model.PentiumCluster()
+	r1, err := SimulateGrid(c, 2, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SimulateGrid(c, 2, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Errorf("non-deterministic: %g vs %g", r1.Makespan, r2.Makespan)
+	}
+}
+
+func TestMessageCountMatchesTopology(t *testing.T) {
+	// 2x2 processor grid, kt tiles each: cross messages = per k-tile,
+	// i-direction: 1 proc boundary × 2 j-procs; j-direction likewise.
+	c := smallGrid() // 2x2 procs
+	r, err := SimulateGrid(c, 2, testMachine(), Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt := int64(4)
+	want := int(kt * (2 + 2)) // (PI-1)*PJ + PI*(PJ-1) = 2+2 per k layer
+	if r.NumMessages != want {
+		t.Errorf("messages = %d, want %d", r.NumMessages, want)
+	}
+	if r.NumTiles != 16 {
+		t.Errorf("tiles = %d, want 16", r.NumTiles)
+	}
+}
+
+// TestWavefrontLowerBound: the makespan can never beat the critical path
+// lower bound of the dependence chain: the last tile transitively depends on
+// (PI-1)+(PJ-1)+(KT-1) predecessors' computes.
+func TestWavefrontLowerBound(t *testing.T) {
+	c := model.Grid3D{I: 8, J: 8, K: 16, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	v := int64(4)
+	g := float64(c.TileVolume(v)) * m.Tc
+	chainLen := float64((c.PI - 1) + (c.PJ - 1) + (c.KTiles(v) - 1) + 1)
+	lower := chainLen * g
+	for _, mode := range []Mode{Blocking, Overlapped} {
+		r, err := SimulateGrid(c, v, m, mode, CapFullDuplex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Makespan < lower {
+			t.Errorf("%v makespan %g below dependence-chain lower bound %g", mode, r.Makespan, lower)
+		}
+	}
+}
+
+// TestGenericTopology2D drives Simulate directly with a 2-D tiled space
+// (the Example 1 shape) including a diagonal tiled dependence, checking the
+// builder handles non-axis deps and 2-D mappings.
+func TestGenericTopology2D(t *testing.T) {
+	ts := space.MustRect(6, 3)
+	m, err := schedule.NewMapping(ts, 0) // map along dim 0 (largest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := Topology{
+		TileSpace:  ts,
+		Map:        m,
+		TileVolume: func(tc ilmath.Vec) int64 { return 100 },
+		MsgBytes:   func(from, to ilmath.Vec) int64 { return 80 },
+	}
+	cfg := Config{
+		Topo:    topo,
+		Deps:    deps.MustNewSet(ilmath.V(1, 0), ilmath.V(0, 1), ilmath.V(1, 1)),
+		Machine: model.Example1Machine(),
+		Mode:    Overlapped,
+		Cap:     CapDMA,
+	}
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumTiles != 18 {
+		t.Errorf("tiles = %d, want 18", r.NumTiles)
+	}
+	// Cross messages: (0,1) deps: 6·2 = 12; (1,1) deps: 5·2 = 10. The (1,0)
+	// deps are intra-processor.
+	if r.NumMessages != 22 {
+		t.Errorf("messages = %d, want 22", r.NumMessages)
+	}
+	if r.Makespan <= 0 {
+		t.Error("non-positive makespan")
+	}
+	// Also runs under blocking mode without deadlock.
+	cfg.Mode = Blocking
+	if _, err := Simulate(cfg); err != nil {
+		t.Errorf("blocking with diagonal deps: %v", err)
+	}
+}
+
+func TestTraceProducesEntries(t *testing.T) {
+	cfg, err := GridConfig(smallGrid(), 2, testMachine(), Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = true
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace) == 0 {
+		t.Error("no trace entries despite Trace=true")
+	}
+	// Trace must include compute, isend, irecv, wire and kcopy activities.
+	kinds := map[string]bool{}
+	for _, e := range r.Trace {
+		for _, k := range []string{"compute", "isend", "irecv", "wire", "kcopy"} {
+			if len(e.Label) >= len(k) && e.Label[:len(k)] == k {
+				kinds[k] = true
+			}
+		}
+	}
+	for _, k := range []string{"compute", "isend", "irecv", "wire", "kcopy"} {
+		if !kinds[k] {
+			t.Errorf("trace missing %q activities", k)
+		}
+	}
+}
+
+func TestModeCapabilityStrings(t *testing.T) {
+	if Blocking.String() != "blocking" || Overlapped.String() != "overlapped" {
+		t.Error("mode strings wrong")
+	}
+	if CapNone.String() != "no-dma" || CapDMA.String() != "dma" || CapFullDuplex.String() != "full-duplex" {
+		t.Error("capability strings wrong")
+	}
+	if Mode(9).String() == "" || Capability(9).String() == "" {
+		t.Error("unknown enum strings empty")
+	}
+}
+
+func TestSharedBusSlowerOrEqual(t *testing.T) {
+	// Bus contention can only hurt: shared-bus makespan >= switched, for
+	// both schedules.
+	c := model.Grid3D{I: 8, J: 8, K: 128, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	for _, mode := range []Mode{Blocking, Overlapped} {
+		sw, err := SimulateGridNet(c, 8, m, mode, CapDMA, Switched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := SimulateGridNet(c, 8, m, mode, CapDMA, SharedBus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.Makespan < sw.Makespan {
+			t.Errorf("%v: shared bus %g faster than switched %g", mode, sb.Makespan, sw.Makespan)
+		}
+	}
+}
+
+func TestSharedBusSingleMessageExtraStage(t *testing.T) {
+	// With a single message in flight the bus adds exactly one extra wire
+	// stage (the medium arbitration) to the end-to-end path.
+	c := model.Grid3D{I: 2, J: 4, K: 2, PI: 1, PJ: 2}
+	m := testMachine()
+	sw, err := SimulateGridNet(c, 2, m, Blocking, CapNone, Switched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := SimulateGridNet(c, 2, m, Blocking, CapNone, SharedBus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sb.Makespan - sw.Makespan; !almost(diff, m.Wire(16)) {
+		t.Errorf("bus - switched = %g, want one wire stage %g", diff, m.Wire(16))
+	}
+}
+
+func TestSharedBusErodesOverlapGain(t *testing.T) {
+	// With many processors contending for one medium, the overlapping
+	// schedule's relative advantage shrinks versus the switched network.
+	c := model.Grid3D{I: 16, J: 16, K: 256, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	m.Tt *= 10 // a slow shared medium (the paper's 10 Mbps Ethernet era)
+	v := int64(16)
+	gain := func(net Network) float64 {
+		ov, err := SimulateGridNet(c, v, m, Overlapped, CapDMA, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := SimulateGridNet(c, v, m, Blocking, CapNone, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - ov.Makespan/bl.Makespan
+	}
+	if gSwitched, gBus := gain(Switched), gain(SharedBus); gBus >= gSwitched {
+		t.Errorf("bus gain %.2f not below switched gain %.2f", gBus, gSwitched)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	cfg, err := GridConfig(smallGrid(), 2, testMachine(), Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Network = Network(9)
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("bad network model accepted")
+	}
+	if Switched.String() != "switched" || SharedBus.String() != "shared-bus" {
+		t.Error("network strings wrong")
+	}
+	if Network(9).String() == "" {
+		t.Error("unknown network string empty")
+	}
+}
+
+func TestCritPathPopulatedWithTrace(t *testing.T) {
+	cfg, err := GridConfig(smallGrid(), 2, testMachine(), Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = true
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CritPath) == 0 {
+		t.Fatal("no critical path despite Trace=true")
+	}
+	if last := r.CritPath[len(r.CritPath)-1]; last.End != r.Makespan {
+		t.Errorf("critical path ends at %g, makespan %g", last.End, r.Makespan)
+	}
+	// Without trace, no critical path is extracted.
+	cfg.Trace = false
+	r, err = Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CritPath != nil {
+		t.Error("critical path populated without Trace")
+	}
+}
+
+func TestNodeSpeedValidation(t *testing.T) {
+	cfg, err := GridConfig(smallGrid(), 2, testMachine(), Blocking, CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NodeSpeed = func(rank int64) float64 { return 0 }
+	if _, err := Simulate(cfg); err == nil {
+		t.Error("zero node speed accepted")
+	}
+}
+
+func TestStragglerSlowsCluster(t *testing.T) {
+	// One node at half speed: the wavefront pipeline must slow down, and
+	// by less than 2x (only that node's work is slower).
+	c := model.Grid3D{I: 8, J: 8, K: 128, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	base, err := SimulateGrid(c, 8, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := GridConfig(c, 8, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NodeSpeed = func(rank int64) float64 {
+		if rank == 5 {
+			return 0.5
+		}
+		return 1
+	}
+	slow, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= base.Makespan {
+		t.Errorf("straggler did not slow the cluster: %g vs %g", slow.Makespan, base.Makespan)
+	}
+	if slow.Makespan >= 2*base.Makespan {
+		t.Errorf("one straggler doubled the makespan: %g vs %g", slow.Makespan, base.Makespan)
+	}
+}
+
+func TestUniformSpeedScalesComputeBoundRun(t *testing.T) {
+	// All nodes at half speed in a compute-bound setting: makespan scales
+	// by close to 2x (communication stages are unscaled, so slightly less
+	// on the comm-influenced parts).
+	c := model.Grid3D{I: 8, J: 8, K: 128, PI: 4, PJ: 4}
+	m := testMachine() // compute dominates strongly (1 s per point)
+	base, err := SimulateGrid(c, 8, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := GridConfig(c, 8, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NodeSpeed = func(int64) float64 { return 0.5 }
+	slow, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := slow.Makespan / base.Makespan
+	if ratio < 1.9 || ratio > 2.05 {
+		t.Errorf("uniform half speed ratio = %g, want ≈2", ratio)
+	}
+}

@@ -1,0 +1,255 @@
+// Package simnet is a deterministic discrete-event simulator for
+// activity graphs over serially-shared resources.
+//
+// It substitutes for the paper's physical cluster: processors' CPUs, DMA
+// engines and NIC links are Resources; the phases of every tile execution
+// (MPI buffer fills, computation, kernel copies, wire transmission) are
+// Activities with precedence edges. The engine computes the exact start and
+// finish time of every activity under FIFO resource scheduling, giving the
+// makespan of a schedule without running wall-clock experiments — and,
+// unlike wall-clock runs, perfectly reproducibly.
+//
+// The model: an Activity occupies exactly one Resource for a fixed duration
+// and may start only after all its predecessors have finished. A Resource
+// executes one activity at a time, picking among ready activities the one
+// that became ready first (ties broken by creation order).
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Resource is a serially-shared facility (a CPU, a DMA engine, a NIC port).
+type Resource struct {
+	ID   int
+	Name string
+
+	busy    bool
+	freeAt  float64
+	pending actHeap
+	lastAct *Activity // most recently completed activity, for critical paths
+	// busyTime accumulates total occupancy for utilization reporting.
+	busyTime float64
+}
+
+// Activity is a unit of work bound to one resource.
+type Activity struct {
+	ID       int
+	Label    string
+	Res      *Resource
+	Duration float64
+
+	// Start and End are filled in by Run.
+	Start, End float64
+
+	npreds  int
+	succs   []*Activity
+	ready   float64 // max end time of completed predecessors
+	started bool
+	done    bool
+
+	// Critical-path bookkeeping (see critpath.go).
+	readyPred *Activity // the predecessor whose completion set `ready`
+	critPred  *Activity
+	critKind  CritKind
+}
+
+// Engine owns the resources and activities of one simulation.
+type Engine struct {
+	resources  []*Resource
+	activities []*Activity
+	trace      []TraceEntry
+	keepTrace  bool
+}
+
+// TraceEntry records one executed activity for Gantt rendering.
+type TraceEntry struct {
+	Resource string
+	Label    string
+	Start    float64
+	End      float64
+}
+
+// NewEngine returns an empty simulation.
+func NewEngine() *Engine { return &Engine{} }
+
+// KeepTrace enables recording of a full execution trace (off by default to
+// keep large sweeps cheap).
+func (e *Engine) KeepTrace(on bool) { e.keepTrace = on }
+
+// NewResource registers a serially-shared resource.
+func (e *Engine) NewResource(name string) *Resource {
+	r := &Resource{ID: len(e.resources), Name: name}
+	e.resources = append(e.resources, r)
+	return r
+}
+
+// NewActivity registers an activity of the given duration on resource r.
+// Durations must be non-negative; zero-duration activities are permitted
+// (useful as synchronization points).
+func (e *Engine) NewActivity(r *Resource, duration float64, label string) *Activity {
+	if r == nil {
+		panic("simnet: nil resource")
+	}
+	if duration < 0 || math.IsNaN(duration) {
+		panic(fmt.Sprintf("simnet: invalid duration %g for %q", duration, label))
+	}
+	a := &Activity{ID: len(e.activities), Label: label, Res: r, Duration: duration}
+	e.activities = append(e.activities, a)
+	return a
+}
+
+// AddDep declares that 'before' must finish before 'after' may start.
+func (e *Engine) AddDep(before, after *Activity) {
+	if before == nil || after == nil {
+		panic("simnet: nil activity in dependency")
+	}
+	before.succs = append(before.succs, after)
+	after.npreds++
+}
+
+// completion is an entry in the event heap.
+type completion struct {
+	t   float64
+	seq int
+	act *Activity
+}
+
+type eventHeap []completion
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// actHeap orders ready activities by (ready time, ID).
+type actHeap []*Activity
+
+func (h actHeap) Len() int { return len(h) }
+func (h actHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].ID < h[j].ID
+}
+func (h actHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *actHeap) Push(x any)   { *h = append(*h, x.(*Activity)) }
+func (h *actHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Result summarizes a completed simulation.
+type Result struct {
+	Makespan float64
+	// Utilization maps resource name to busy-time / makespan.
+	Utilization map[string]float64
+	Trace       []TraceEntry
+}
+
+// Run executes the simulation to completion and returns the makespan. It
+// returns an error if not every activity could run, which indicates a
+// dependency cycle (a deadlocked schedule).
+func (e *Engine) Run() (Result, error) {
+	var events eventHeap
+	seq := 0
+	now := 0.0
+
+	startOn := func(r *Resource) {
+		for !r.busy && r.pending.Len() > 0 {
+			a := heap.Pop(&r.pending).(*Activity)
+			start := a.ready
+			a.critPred = a.readyPred
+			a.critKind = CritDependency
+			if a.readyPred == nil {
+				a.critKind = CritStart
+			}
+			if r.freeAt > start {
+				start = r.freeAt
+				if r.lastAct != nil {
+					a.critPred = r.lastAct
+					a.critKind = CritResource
+				}
+			}
+			if start < now {
+				start = now
+			}
+			a.Start = start
+			a.End = start + a.Duration
+			a.started = true
+			r.busy = true
+			heap.Push(&events, completion{t: a.End, seq: seq, act: a})
+			seq++
+		}
+	}
+
+	// Seed: all activities with no predecessors are ready at t=0.
+	for _, a := range e.activities {
+		if a.npreds == 0 {
+			a.ready = 0
+			heap.Push(&a.Res.pending, a)
+		}
+	}
+	for _, r := range e.resources {
+		startOn(r)
+	}
+
+	completed := 0
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(completion)
+		a := ev.act
+		now = ev.t
+		a.done = true
+		completed++
+		r := a.Res
+		r.busy = false
+		r.freeAt = a.End
+		r.lastAct = a
+		r.busyTime += a.Duration
+		if e.keepTrace {
+			e.trace = append(e.trace, TraceEntry{Resource: r.Name, Label: a.Label, Start: a.Start, End: a.End})
+		}
+		for _, s := range a.succs {
+			s.npreds--
+			if a.End > s.ready {
+				s.ready = a.End
+				s.readyPred = a
+			}
+			if s.npreds == 0 {
+				heap.Push(&s.Res.pending, s)
+			}
+		}
+		// The freed resource and any resources that gained ready work may
+		// start something. Trying all successors' resources plus r covers
+		// every resource whose pending set changed.
+		startOn(r)
+		for _, s := range a.succs {
+			startOn(s.Res)
+		}
+	}
+
+	if completed != len(e.activities) {
+		return Result{}, fmt.Errorf("simnet: deadlock, only %d of %d activities completed (dependency cycle?)",
+			completed, len(e.activities))
+	}
+	res := Result{Makespan: now, Utilization: make(map[string]float64, len(e.resources)), Trace: e.trace}
+	for _, r := range e.resources {
+		if now > 0 {
+			res.Utilization[r.Name] = r.busyTime / now
+		} else {
+			res.Utilization[r.Name] = 0
+		}
+	}
+	return res, nil
+}
+
+// NumActivities returns how many activities have been registered.
+func (e *Engine) NumActivities() int { return len(e.activities) }
+
+// NumResources returns how many resources have been registered.
+func (e *Engine) NumResources() int { return len(e.resources) }

@@ -1,0 +1,24 @@
+package stencil_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ilmath"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+// Example runs the paper's 3-D test kernel sequentially over a small space
+// with boundary value 1: the origin computes √1+√1+√1 = 3.
+func Example() {
+	g, err := stencil.RunSequential(space.MustRect(2, 2, 2), stencil.Sqrt3D{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A(0,0,0) = %g\n", g.At(ilmath.V(0, 0, 0)))
+	fmt.Printf("A(1,1,1) = %.4f\n", g.At(ilmath.V(1, 1, 1)))
+	// Output:
+	// A(0,0,0) = 3
+	// A(1,1,1) = 6.6161
+}

@@ -1,0 +1,174 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/space"
+)
+
+func TestSqrt3DSmall(t *testing.T) {
+	// With boundary 1 everywhere, A(0,0,0) = 3·√1 = 3.
+	s := space.MustRect(2, 2, 2)
+	g, err := RunSequential(s, Sqrt3D{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.At(ilmath.V(0, 0, 0)); got != 3 {
+		t.Errorf("A(0,0,0) = %g, want 3", got)
+	}
+	// A(1,0,0) = √3 + √1 + √1 = √3 + 2.
+	want := math.Sqrt(3) + 2
+	if got := g.At(ilmath.V(1, 0, 0)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("A(1,0,0) = %g, want %g", got, want)
+	}
+	// A(1,1,1) depends on three interior values; just check positivity and
+	// monotone growth along the diagonal.
+	if g.At(ilmath.V(1, 1, 1)) <= g.At(ilmath.V(0, 0, 0)) {
+		t.Error("values not growing along the diagonal")
+	}
+}
+
+func TestSum2DExample1Kernel(t *testing.T) {
+	// Boundary 0: A(0,0) = 0; boundary 1: A(0,0) = 3, A(1,1) =
+	// A(0,0)+A(0,1)+A(1,0).
+	s := space.MustRect(2, 2)
+	g, err := RunSequential(s, Sum2D{}, ConstBoundary(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(ilmath.V(0, 0)) != 3 {
+		t.Errorf("A(0,0) = %g, want 3", g.At(ilmath.V(0, 0)))
+	}
+	a01 := g.At(ilmath.V(0, 1)) // = A(-1,0)+A(-1,1)+A(0,0) = 1+1+3 = 5
+	if a01 != 5 {
+		t.Errorf("A(0,1) = %g, want 5", a01)
+	}
+	a10 := g.At(ilmath.V(1, 0)) // = 1+3+1 = 5
+	if a10 != 5 {
+		t.Errorf("A(1,0) = %g, want 5", a10)
+	}
+	want := 3.0 + 5 + 5
+	if g.At(ilmath.V(1, 1)) != want {
+		t.Errorf("A(1,1) = %g, want %g", g.At(ilmath.V(1, 1)), want)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted("w", nil, nil, false); err == nil {
+		t.Error("nil deps accepted")
+	}
+	if _, err := NewWeighted("w", deps.Unit(2), []float64{1}, false); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	w, err := NewWeighted("w", deps.Unit(2), []float64{2, 3}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "w" || w.Deps().Len() != 2 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestWeightedEval(t *testing.T) {
+	w, _ := NewWeighted("lin", deps.Unit(2), []float64{2, 3}, false)
+	s := space.MustRect(2, 2)
+	g, err := RunSequential(s, w, ConstBoundary(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A(0,0) = 2·1 + 3·1 = 5; A(1,0) = 2·5+3·1 = 13; A(0,1) = 2+15 = 17;
+	// A(1,1) = 2·17+3·13 = 73.
+	cases := map[string]struct {
+		j    ilmath.Vec
+		want float64
+	}{
+		"origin": {ilmath.V(0, 0), 5},
+		"i":      {ilmath.V(1, 0), 13},
+		"j":      {ilmath.V(0, 1), 17},
+		"both":   {ilmath.V(1, 1), 73},
+	}
+	for name, c := range cases {
+		if got := g.At(c.j); got != c.want {
+			t.Errorf("%s: A(%v) = %g, want %g", name, c.j, got, c.want)
+		}
+	}
+}
+
+func TestWeightedSqrt(t *testing.T) {
+	// Weighted with sqrt and unit weights must reproduce Sqrt3D exactly.
+	w, _ := NewWeighted("sqrt3d-generic", deps.Stencil3D(), []float64{1, 1, 1}, true)
+	s := space.MustRect(3, 3, 3)
+	a, err := RunSequential(s, Sqrt3D{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSequential(s, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("generic sqrt kernel differs from Sqrt3D by %g", d)
+	}
+}
+
+func TestRunSequentialDimensionMismatch(t *testing.T) {
+	if _, err := RunSequential(space.MustRect(2, 2), Sqrt3D{}, nil); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := NewGrid(space.MustRect(2, 3))
+	g.Set(ilmath.V(1, 2), 7)
+	if g.At(ilmath.V(1, 2)) != 7 {
+		t.Error("Set/At wrong")
+	}
+	if len(g.Data) != 6 {
+		t.Errorf("data length %d", len(g.Data))
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	s := space.MustRect(2, 2)
+	a, b := NewGrid(s), NewGrid(s)
+	b.Set(ilmath.V(1, 1), -0.5)
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.5 {
+		t.Errorf("diff = %g, want 0.5", d)
+	}
+	if _, err := MaxAbsDiff(a, NewGrid(space.MustRect(3, 3))); err == nil {
+		t.Error("space mismatch accepted")
+	}
+}
+
+// TestSequentialDeterministic: two runs produce identical grids.
+func TestSequentialDeterministic(t *testing.T) {
+	s := space.MustRect(8, 8, 8)
+	a, _ := RunSequential(s, Sqrt3D{}, nil)
+	b, _ := RunSequential(s, Sqrt3D{}, nil)
+	d, _ := MaxAbsDiff(a, b)
+	if d != 0 {
+		t.Error("sequential run not deterministic")
+	}
+}
+
+// TestBoundaryInfluence: boundary value changes must propagate.
+func TestBoundaryInfluence(t *testing.T) {
+	s := space.MustRect(4, 4, 4)
+	a, _ := RunSequential(s, Sqrt3D{}, ConstBoundary(1))
+	b, _ := RunSequential(s, Sqrt3D{}, ConstBoundary(4))
+	d, _ := MaxAbsDiff(a, b)
+	if d == 0 {
+		t.Error("boundary value had no effect")
+	}
+}

@@ -1,0 +1,227 @@
+package tiling
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/space"
+)
+
+// SkewingFor computes a unimodular skewing matrix S with S·D ≥ 0
+// componentwise, making the loop nest fully permutable so that a
+// rectangular tiling of the skewed space is legal (Irigoin–Triolet). The
+// paper's formalism admits arbitrary non-singular H; skewing is how
+// dependence sets with negative components — e.g. the SOR wavefront
+// {(1,−1),(1,0),(1,1)} — are brought into tileable form.
+//
+// The construction: for each dimension i with a negative dependence
+// component, add k times an earlier row j whose component is strictly
+// positive on every offending vector, with k = max⌈−d_i/d_j⌉. Passes repeat
+// until fixpoint; sets that cannot be skewed this way (none arising from
+// lexicographically positive dependence sets in practice) yield an error.
+func SkewingFor(d *deps.Set) (*ilmath.Mat, error) {
+	n := d.Dim()
+	s := ilmath.Identity(n)
+	const maxPasses = 16
+	for pass := 0; pass < maxPasses; pass++ {
+		sd := s.Mul(d.Matrix())
+		fixed := true
+		for i := 0; i < n; i++ {
+			// Collect columns with a negative entry in row i.
+			var offending []int
+			for c := 0; c < sd.Cols; c++ {
+				if sd.At(i, c) < 0 {
+					offending = append(offending, c)
+				}
+			}
+			if len(offending) == 0 {
+				continue
+			}
+			fixed = false
+			// Find an earlier row strictly positive on all offenders.
+			j := -1
+			for cand := 0; cand < i; cand++ {
+				ok := true
+				for _, c := range offending {
+					if sd.At(cand, c) <= 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					j = cand
+					break
+				}
+			}
+			if j < 0 {
+				return nil, fmt.Errorf("tiling: cannot skew dimension %d of %v (no positive pivot row)", i, d)
+			}
+			var k int64 = 1
+			for _, c := range offending {
+				need := ceilDiv(-sd.At(i, c), sd.At(j, c))
+				if need > k {
+					k = need
+				}
+			}
+			// Row_i += k·Row_j.
+			for col := 0; col < n; col++ {
+				s.Set(i, col, s.At(i, col)+k*s.At(j, col))
+			}
+			break // recompute S·D before continuing
+		}
+		if fixed {
+			if det := s.Det(); det != 1 && det != -1 {
+				return nil, fmt.Errorf("tiling: internal error, skew not unimodular (det %d)", det)
+			}
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("tiling: skewing did not converge for %v", d)
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("tiling: ceilDiv by non-positive")
+	}
+	q := a / b
+	if a%b != 0 && a > 0 {
+		q++
+	}
+	return q
+}
+
+// SkewedRectangular builds the tiling H = diag(1/s_1,…,1/s_n)·S where S is
+// a unimodular skew with S·D ≥ 0: parallelepiped tiles whose legality for d
+// is guaranteed by construction. Side s_i is the tile extent along skewed
+// dimension i.
+func SkewedRectangular(d *deps.Set, sides ...int64) (*Tiling, error) {
+	if len(sides) != d.Dim() {
+		return nil, fmt.Errorf("tiling: %d sides for %d dimensions", len(sides), d.Dim())
+	}
+	s, err := SkewingFor(d)
+	if err != nil {
+		return nil, err
+	}
+	diag := make([]ilmath.Rat, len(sides))
+	for i, side := range sides {
+		if side <= 0 {
+			return nil, fmt.Errorf("tiling: non-positive side %d", side)
+		}
+		diag[i] = ilmath.NewRat(1, side)
+	}
+	h := ilmath.RatDiag(diag...).Mul(s.ToRat())
+	t, err := FromH(h)
+	if err != nil {
+		return nil, err
+	}
+	if !t.Legal(d) {
+		return nil, fmt.Errorf("tiling: internal error, skewed tiling not legal for %v", d)
+	}
+	return t, nil
+}
+
+// TilePoints enumerates the integer points of iteration space sp that fall
+// in tile tc under an arbitrary (possibly skewed) tiling, by scanning the
+// bounding box of the tile's parallelepiped region P·[tc, tc+1) clipped to
+// sp. The yielded vector is reused; clone to retain. Returns the number of
+// points visited.
+func (t *Tiling) TilePoints(sp *space.Space, tc ilmath.Vec, visit func(ilmath.Vec)) (int64, error) {
+	if len(tc) != t.Dim() || sp.Dim() != t.Dim() {
+		return 0, fmt.Errorf("tiling: dimension mismatch")
+	}
+	n := t.Dim()
+	// Bounding box of {P·x : x ∈ [tc, tc+1)} per coordinate i:
+	// [Σ_k min(P_ik·tc_k, P_ik·(tc_k+1)), Σ_k max(...)], clipped to sp.
+	lo := make(ilmath.Vec, n)
+	hi := make(ilmath.Vec, n)
+	for i := 0; i < n; i++ {
+		lf, hf := ilmath.RatZero, ilmath.RatZero
+		for k := 0; k < n; k++ {
+			p := t.p.At(i, k)
+			a := p.Mul(ilmath.RatInt(tc[k]))
+			b := p.Mul(ilmath.RatInt(tc[k] + 1))
+			if a.Cmp(b) > 0 {
+				a, b = b, a
+			}
+			lf = lf.Add(a)
+			hf = hf.Add(b)
+		}
+		lo[i] = lf.Floor()
+		hi[i] = hf.Ceil()
+		if lo[i] < sp.Lower[i] {
+			lo[i] = sp.Lower[i]
+		}
+		if hi[i] > sp.Upper[i] {
+			hi[i] = sp.Upper[i]
+		}
+		if lo[i] > hi[i] {
+			return 0, nil
+		}
+	}
+	var count int64
+	j := lo.Clone()
+	for {
+		if t.TileOf(j).Equal(tc) {
+			count++
+			if visit != nil {
+				visit(j)
+			}
+		}
+		d := n - 1
+		for d >= 0 {
+			j[d]++
+			if j[d] <= hi[d] {
+				break
+			}
+			j[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			return count, nil
+		}
+	}
+}
+
+// NonEmptyTiles returns the tiles of sp under t that contain at least one
+// iteration point, in lexicographic order. For rectangular tilings every
+// tile of TileSpace is non-empty; for skewed tilings the bounding box of
+// the tiled space contains empty corners that this prunes.
+func (t *Tiling) NonEmptyTiles(sp *space.Space) ([]ilmath.Vec, error) {
+	box, err := t.TileSpaceBounds(sp)
+	if err != nil {
+		return nil, err
+	}
+	var out []ilmath.Vec
+	var scanErr error
+	box.Points(func(tc ilmath.Vec) bool {
+		n, err := t.TilePoints(sp, tc, nil)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if n > 0 {
+			out = append(out, tc.Clone())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// OriginLattice returns the Hermite Normal Form basis of the tile-origin
+// lattice {P·t : t ∈ Z^n}, defined for tilings whose side matrix P is
+// integral. Two tilings partition Z^n with congruent tiles anchored at the
+// same points iff their origin lattices (HNFs) coincide.
+func (t *Tiling) OriginLattice() (*ilmath.Mat, error) {
+	if !t.p.IsInteger() {
+		return nil, fmt.Errorf("tiling: origin lattice requires an integer side matrix P, got\n%v", t.p)
+	}
+	h, _, err := ilmath.HermiteNormalForm(t.p.ToInt())
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}

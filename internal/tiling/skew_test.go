@@ -1,0 +1,312 @@
+package tiling
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/ilmath"
+	"repro/internal/space"
+)
+
+// wavefrontDeps is the classic SOR/wavefront dependence set with a negative
+// component, not tileable rectangularly.
+func wavefrontDeps() *deps.Set {
+	return deps.MustNewSet(ilmath.V(1, -1), ilmath.V(1, 0), ilmath.V(1, 1))
+}
+
+func TestSkewingForWavefront(t *testing.T) {
+	s, err := SkewingFor(wavefrontDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S must be unimodular and make S·D non-negative.
+	if det := s.Det(); det != 1 && det != -1 {
+		t.Errorf("skew det = %d", det)
+	}
+	sd := s.Mul(wavefrontDeps().Matrix())
+	for i := 0; i < sd.Rows; i++ {
+		for j := 0; j < sd.Cols; j++ {
+			if sd.At(i, j) < 0 {
+				t.Fatalf("S·D has negative entry at (%d,%d):\n%v", i, j, sd)
+			}
+		}
+	}
+	// The canonical skew for this set is [[1,0],[1,1]].
+	if !s.Equal(ilmath.MatFromRows(ilmath.V(1, 0), ilmath.V(1, 1))) {
+		t.Logf("note: skew %v differs from canonical but is valid", s)
+	}
+}
+
+func TestSkewingForAlreadyNonNegative(t *testing.T) {
+	s, err := SkewingFor(deps.Example1Deps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(ilmath.Identity(2)) {
+		t.Errorf("non-negative deps should need no skew, got %v", s)
+	}
+}
+
+func TestSkewingFor3D(t *testing.T) {
+	// 3-D wavefront: (1,-1,0), (1,0,-1), (1,0,0).
+	d := deps.MustNewSet(ilmath.V(1, -1, 0), ilmath.V(1, 0, -1), ilmath.V(1, 0, 0))
+	s, err := SkewingFor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := s.Mul(d.Matrix())
+	for i := 0; i < sd.Rows; i++ {
+		for j := 0; j < sd.Cols; j++ {
+			if sd.At(i, j) < 0 {
+				t.Fatalf("S·D negative:\n%v", sd)
+			}
+		}
+	}
+	if det := s.Det(); det != 1 && det != -1 {
+		t.Errorf("det = %d", det)
+	}
+}
+
+func TestSkewedRectangularLegal(t *testing.T) {
+	d := wavefrontDeps()
+	// Rectangular tiling is illegal for this set…
+	if MustRectangular(4, 4).Legal(d) {
+		t.Fatal("rectangular tiling should be illegal for wavefront deps")
+	}
+	// …but the skewed tiling is legal by construction.
+	tl, err := SkewedRectangular(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tl.Legal(d) {
+		t.Error("skewed tiling not legal")
+	}
+	if tl.IsRectangular() {
+		t.Error("skewed tiling should not be axis-aligned")
+	}
+	// Tile volume is preserved: |det P| = s1·s2 (unimodular skew).
+	if tl.VolumeInt() != 16 {
+		t.Errorf("volume = %v, want 16", tl.Volume())
+	}
+	if !tl.ContainsDeps(d) {
+		t.Error("4x4 skewed tiles should contain the unit-length deps")
+	}
+}
+
+func TestSkewedRectangularValidation(t *testing.T) {
+	d := wavefrontDeps()
+	if _, err := SkewedRectangular(d, 4); err == nil {
+		t.Error("side-count mismatch accepted")
+	}
+	if _, err := SkewedRectangular(d, 4, 0); err == nil {
+		t.Error("zero side accepted")
+	}
+}
+
+func TestSkewedTileDeps(t *testing.T) {
+	tl, err := SkewedRectangular(wavefrontDeps(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := tl.TileDeps(wavefrontDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All tiled deps must be 0/1 vectors.
+	for _, v := range ds.Vectors() {
+		for _, x := range v {
+			if x != 0 && x != 1 {
+				t.Fatalf("tiled dep %v not 0/1", v)
+			}
+		}
+	}
+}
+
+func TestTilePointsPartitionSkewed(t *testing.T) {
+	// Every point of the space belongs to exactly one non-empty tile, and
+	// the tile point counts sum to the space volume.
+	sp := space.MustRect(12, 9)
+	tl, err := SkewedRectangular(wavefrontDeps(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles, err := tl.NonEmptyTiles(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	seen := map[string]bool{}
+	for _, tc := range tiles {
+		n, err := tl.TilePoints(sp, tc, func(j ilmath.Vec) {
+			k := j.String()
+			if seen[k] {
+				t.Fatalf("point %v in two tiles", j)
+			}
+			seen[k] = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("NonEmptyTiles returned empty tile %v", tc)
+		}
+		total += n
+	}
+	if total != sp.Volume() {
+		t.Errorf("tiles cover %d points, space has %d", total, sp.Volume())
+	}
+}
+
+func TestTilePointsMatchesRectangularFastPath(t *testing.T) {
+	sp := space.MustRect(13, 7)
+	tl := MustRectangular(5, 3)
+	ts, err := tl.TileSpace(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Points(func(tc ilmath.Vec) bool {
+		slow, err := tl.TilePoints(sp, tc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := tl.TileIterations(sp, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fast int64
+		if sub != nil {
+			fast = sub.Volume()
+		}
+		if slow != fast {
+			t.Fatalf("tile %v: general count %d != rectangular %d", tc, slow, fast)
+		}
+		return true
+	})
+}
+
+func TestNonEmptyTilesRectangularEqualsTileSpace(t *testing.T) {
+	sp := space.MustRect(10, 10)
+	tl := MustRectangular(4, 4)
+	tiles, err := tl.NonEmptyTiles(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := tl.TileSpace(sp)
+	if int64(len(tiles)) != ts.Volume() {
+		t.Errorf("non-empty tiles %d != tile space volume %d", len(tiles), ts.Volume())
+	}
+}
+
+func TestSkewedCommVolume(t *testing.T) {
+	// Communication volume of the skewed tiling is computable and positive.
+	tl, err := SkewedRectangular(wavefrontDeps(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tl.CommVolume(wavefrontDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sign() <= 0 {
+		t.Errorf("V_comm = %v", v)
+	}
+	// And the exact decomposition does not exceed it.
+	vols, err := tl.TileDepVolumes(wavefrontDeps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, x := range vols {
+		total += x.Points
+	}
+	if ilmath.RatInt(total).Cmp(v) > 0 {
+		t.Errorf("exact %d exceeds formula (1) %v", total, v)
+	}
+}
+
+func TestSkewingForUnskewable(t *testing.T) {
+	// (0,1) and (1,-1): dim 1 has offenders whose row-0 entries are 1 for
+	// (1,-1)… row 0 entry of column (0,1) is 0 but that column is not
+	// offending (its dim-1 entry is +1). So this IS skewable. A truly
+	// unskewable-by-this-construction set needs an offender with zero in
+	// every earlier row: (0,…) cannot be lex-positive with a leading zero
+	// and negative later? (0, 1, -1) offends dim 2 with row 0 = 0, row 1 =
+	// 1 > 0, so row 1 pivots. Dimension 0 can never offend (lex-positive ⇒
+	// d_0 ≥ 0 stays ≥ 0 under lower-triangular skews), so the construction
+	// succeeds on every lex-positive set we can express; assert that.
+	for _, d := range []*deps.Set{
+		deps.MustNewSet(ilmath.V(0, 1), ilmath.V(1, -1)),
+		deps.MustNewSet(ilmath.V(0, 1, -1), ilmath.V(1, 0, 0), ilmath.V(0, 0, 1)),
+		deps.MustNewSet(ilmath.V(1, -3), ilmath.V(0, 1)),
+	} {
+		s, err := SkewingFor(d)
+		if err != nil {
+			t.Errorf("SkewingFor(%v): %v", d, err)
+			continue
+		}
+		sd := s.Mul(d.Matrix())
+		for i := 0; i < sd.Rows; i++ {
+			for j := 0; j < sd.Cols; j++ {
+				if sd.At(i, j) < 0 {
+					t.Errorf("S·D negative for %v:\n%v", d, sd)
+				}
+			}
+		}
+	}
+}
+
+func TestOriginLatticeRectangular(t *testing.T) {
+	h, err := MustRectangular(4, 6).OriginLattice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(ilmath.Diag(4, 6)) {
+		t.Errorf("origin lattice = %v, want diag(4,6)", h)
+	}
+}
+
+func TestOriginLatticeSkewed(t *testing.T) {
+	// Square sides: the lattice s·Z² is invariant under every unimodular
+	// map, so the skewed tiling anchors its tiles at the same origins as
+	// the rectangular one (only the tile shape differs).
+	tl6, err := SkewedRectangular(wavefrontDeps(), 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h6, err := tl6.OriginLattice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect6, _ := MustRectangular(6, 6).OriginLattice()
+	if !h6.Equal(rect6) {
+		t.Errorf("square skewed lattice %v != rectangular %v (s·Z² is unimodular-invariant)", h6, rect6)
+	}
+	// Unequal sides: the skew genuinely moves the origins.
+	tl46, err := SkewedRectangular(wavefrontDeps(), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h46, err := tl46.OriginLattice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h46.Det() != 24 { // fundamental domain volume preserved
+		t.Errorf("lattice det = %d, want 24", h46.Det())
+	}
+	rect46, _ := MustRectangular(4, 6).OriginLattice()
+	if h46.Equal(rect46) {
+		t.Error("unequal-side skewed lattice should differ from the rectangular one")
+	}
+}
+
+func TestOriginLatticeNonIntegerP(t *testing.T) {
+	// H = diag(2, 2) gives P = diag(1/2, 1/2): not a lattice over Z.
+	h := ilmath.RatDiag(ilmath.RatInt(2), ilmath.RatInt(2))
+	tl, err := FromH(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.OriginLattice(); err == nil {
+		t.Error("non-integer P accepted")
+	}
+}

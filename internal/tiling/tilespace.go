@@ -1,0 +1,119 @@
+package tiling
+
+import (
+	"fmt"
+
+	"repro/internal/ilmath"
+	"repro/internal/space"
+)
+
+// TileSpace computes the tiled space J^S = { ⌊Hj⌋ : j ∈ J^n } for a
+// rectangular tiling of a rectangular iteration space. The result is itself
+// a rectangular space: tile coordinates range over [⌊l_d/s_d⌋, ⌊u_d/s_d⌋]
+// per dimension.
+//
+// For non-rectangular H, J^S is generally not a box; use TileSpaceBounds to
+// obtain its bounding box instead.
+func (t *Tiling) TileSpace(s *space.Space) (*space.Space, error) {
+	if s.Dim() != t.Dim() {
+		return nil, fmt.Errorf("tiling: space dimension %d != tiling dimension %d", s.Dim(), t.Dim())
+	}
+	if !t.IsRectangular() {
+		return nil, fmt.Errorf("tiling: TileSpace requires a rectangular tiling; use TileSpaceBounds")
+	}
+	sides, err := t.RectSides()
+	if err != nil {
+		return nil, err
+	}
+	lo := make(ilmath.Vec, s.Dim())
+	up := make(ilmath.Vec, s.Dim())
+	for d := 0; d < s.Dim(); d++ {
+		lo[d] = floorDiv(s.Lower[d], sides[d])
+		up[d] = floorDiv(s.Upper[d], sides[d])
+	}
+	return space.New(lo, up)
+}
+
+// TileSpaceBounds returns the bounding box of J^S for an arbitrary tiling.
+// Each row h_i of H is a linear functional; its extrema over the box J^n are
+// attained at corners, computed componentwise from the sign of h_{i,k}. For
+// rectangular tilings the bounding box equals J^S exactly.
+func (t *Tiling) TileSpaceBounds(s *space.Space) (*space.Space, error) {
+	if s.Dim() != t.Dim() {
+		return nil, fmt.Errorf("tiling: space dimension %d != tiling dimension %d", s.Dim(), t.Dim())
+	}
+	n := s.Dim()
+	lo := make(ilmath.Vec, n)
+	up := make(ilmath.Vec, n)
+	for i := 0; i < n; i++ {
+		minV, maxV := ilmath.RatZero, ilmath.RatZero
+		for k := 0; k < n; k++ {
+			h := t.h.At(i, k)
+			a := h.Mul(ilmath.RatInt(s.Lower[k]))
+			b := h.Mul(ilmath.RatInt(s.Upper[k]))
+			if a.Cmp(b) > 0 {
+				a, b = b, a
+			}
+			minV = minV.Add(a)
+			maxV = maxV.Add(b)
+		}
+		lo[i] = minV.Floor()
+		up[i] = maxV.Floor()
+	}
+	return space.New(lo, up)
+}
+
+// TileIterations returns the sub-box of iteration points of J^n that fall in
+// tile tc under a rectangular tiling, clipped to the iteration space bounds.
+// It returns nil (no error) when the tile is empty, which happens for tiles
+// in the tile-space bounding box that fall entirely outside J^n.
+func (t *Tiling) TileIterations(s *space.Space, tc ilmath.Vec) (*space.Space, error) {
+	if !t.IsRectangular() {
+		return nil, fmt.Errorf("tiling: TileIterations requires a rectangular tiling")
+	}
+	if len(tc) != s.Dim() {
+		return nil, fmt.Errorf("tiling: tile coordinate dimension %d != %d", len(tc), s.Dim())
+	}
+	sides, err := t.RectSides()
+	if err != nil {
+		return nil, err
+	}
+	lo := make(ilmath.Vec, s.Dim())
+	up := make(ilmath.Vec, s.Dim())
+	for d := 0; d < s.Dim(); d++ {
+		lo[d] = tc[d] * sides[d]
+		up[d] = lo[d] + sides[d] - 1
+		if lo[d] < s.Lower[d] {
+			lo[d] = s.Lower[d]
+		}
+		if up[d] > s.Upper[d] {
+			up[d] = s.Upper[d]
+		}
+		if lo[d] > up[d] {
+			return nil, nil // tile entirely outside the iteration space
+		}
+	}
+	return space.New(lo, up)
+}
+
+// IsBoundaryTile reports whether tile tc is clipped by the iteration-space
+// bounds under a rectangular tiling (i.e. is a partial tile).
+func (t *Tiling) IsBoundaryTile(s *space.Space, tc ilmath.Vec) (bool, error) {
+	sub, err := t.TileIterations(s, tc)
+	if err != nil {
+		return false, err
+	}
+	if sub == nil {
+		return false, fmt.Errorf("tiling: tile %v is empty", tc)
+	}
+	return sub.Volume() != t.VolumeInt(), nil
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
