@@ -1,0 +1,24 @@
+# Repo verification and benchmarking targets. `make check` is the PR gate:
+# build + tests + race on the parallelized packages.
+
+GO ?= go
+
+BENCH ?= Fig9$$|Fig10$$|Fig11$$|Fig12$$|SimEngine$$|SimBuild$$|SweepParallel$$
+
+.PHONY: build test race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel sweep engine fans simulations out over goroutines; these are
+# the packages that must stay clean under the race detector.
+race:
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/simnet
+
+bench:
+	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
+
+check: build test race

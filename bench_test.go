@@ -217,6 +217,46 @@ func BenchmarkSimEngine(b *testing.B) {
 	b.ReportMetric(float64(acts), "tiles")
 }
 
+// BenchmarkSimBuild measures activity-DAG construction alone (no Run), so
+// builder-layer regressions are visible separately from engine-layer ones.
+func BenchmarkSimBuild(b *testing.B) {
+	g := model.Grid3D{I: 8, J: 8, K: 512, PI: 4, PJ: 4}
+	m := model.PentiumCluster()
+	cfg, err := sim.GridConfig(g, 8, m, sim.Overlapped, sim.CapDMA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var acts int
+	for i := 0; i < b.N; i++ {
+		acts, _, err = sim.BuildStats(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(acts), "activities")
+}
+
+// BenchmarkSweepParallel measures one full parallel sweep (both schedules
+// at every height) through the worker pool, with a fresh cache per
+// iteration so every point is really simulated.
+func BenchmarkSweepParallel(b *testing.B) {
+	s := experiments.Fig9()
+	if !*fullScale {
+		s.Grid.K /= 16
+		s.Heights = experiments.Ladder(4, s.Grid.K/4)
+	}
+	var rows []experiments.SweepRow
+	for i := 0; i < b.N; i++ {
+		s.Cache = sim.NewCache()
+		var err error
+		rows, err = s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "heights")
+}
+
 // BenchmarkMPInprocRoundTrip measures the in-process transport's
 // request-reply latency.
 func BenchmarkMPInprocRoundTrip(b *testing.B) {

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 	"repro/internal/ilmath"
@@ -22,13 +24,15 @@ import (
 )
 
 var (
-	quick  = flag.Bool("quick", false, "shrink the spaces ~16x for fast runs")
-	csvOut = flag.String("csv", "", "for fig9/fig10/fig11: also write the sweep as CSV to this file")
+	quick      = flag.Bool("quick", false, "shrink the spaces ~16x for fast runs")
+	csvOut     = flag.String("csv", "", "for fig9/fig10/fig11: also write the sweep as CSV to this file")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file after the runs")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|all\n")
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,12 +40,47 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	for _, id := range flag.Args() {
+	os.Exit(runAll(flag.Args()))
+}
+
+// runAll runs every requested experiment inside the optional profiling
+// window and returns the process exit code (deferred profile writers must
+// run before os.Exit).
+func runAll(ids []string) int {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tilebench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tilebench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tilebench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tilebench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+	for _, id := range ids {
 		if err := run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "tilebench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // shrink reduces a sweep's space for -quick runs.
@@ -68,6 +107,9 @@ func run(id string) error {
 			s = experiments.Fig11()
 		}
 		s = shrink(s)
+		// One memo across the sweep and both optimum searches: the optimum
+		// ladder revisits every sweep height.
+		s.Cache = sim.NewCache()
 		rows, err := s.Run()
 		if err != nil {
 			return err

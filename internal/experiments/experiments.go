@@ -10,10 +10,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -27,6 +30,29 @@ type Sweep struct {
 	Heights []int64
 	Machine model.Machine
 	Cap     sim.Capability
+	// Cache optionally memoizes simulation points across Run and Optimum
+	// calls on the same sweep (the Optimum ladder pass revisits every Run
+	// height, and its refinement rungs overlap the ladder). When nil, each
+	// call uses a private cache, which still deduplicates within the call.
+	Cache *sim.Cache
+}
+
+// cache returns the sweep's shared cache, or a fresh private one.
+func (s Sweep) cache() *sim.Cache {
+	if s.Cache != nil {
+		return s.Cache
+	}
+	return sim.NewCache()
+}
+
+// modeCap returns the hardware capability each schedule is simulated with:
+// the sweep's capability for the overlapped schedule, no DMA for blocking
+// (the blocking schedule burns CPU for every copy regardless).
+func (s Sweep) modeCap(mode sim.Mode) sim.Capability {
+	if mode == sim.Blocking {
+		return sim.CapNone
+	}
+	return s.Cap
 }
 
 // SweepRow is one point of a sweep.
@@ -55,7 +81,10 @@ func Ladder(lo, hi int64) []int64 {
 }
 
 // Refine returns ~n heights spread multiplicatively around center within
-// [lo, hi], deduplicated and sorted, for zooming into an optimum.
+// [lo, hi], for zooming into an optimum. The emitted list is strictly
+// increasing: clamping and integer rounding collapse overlapping rungs, so
+// duplicates are dropped and the merged list is sorted before returning —
+// otherwise the optimum search would simulate the same height repeatedly.
 func Refine(center, lo, hi int64, n int) []int64 {
 	if n < 2 {
 		n = 2
@@ -110,9 +139,106 @@ func Fig11() Sweep {
 	}
 }
 
+// simPoint identifies one (height, mode) simulation of a sweep.
+type simPoint struct {
+	v    int64
+	mode sim.Mode
+}
+
+// evalPoints simulates every point on a bounded pool of GOMAXPROCS workers,
+// each holding its own engine via the cache's simulator pool. Results are
+// assembled in input order, so the output is identical regardless of worker
+// scheduling (the simulator itself is deterministic). The first simulation
+// error cancels the remaining work via context.
+func (s Sweep) evalPoints(c *sim.Cache, pts []simPoint) ([]sim.Result, error) {
+	res := make([]sim.Result, len(pts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				p := pts[i]
+				r, err := c.SimulateGrid(s.Grid, p.v, s.Machine, p.mode, s.modeCap(p.mode))
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("%s: V=%d %s: %w", s.ID, p.v, p.mode, err)
+						cancel()
+					})
+					return
+				}
+				res[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range pts {
+		select {
+		case tasks <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// rowAt assembles one SweepRow from the two simulated schedules at height v.
+func (s Sweep) rowAt(v int64, ov, bl sim.Result) SweepRow {
+	return SweepRow{
+		V:               v,
+		G:               s.Grid.TileVolume(v),
+		OverlapSim:      ov.Makespan,
+		BlockingSim:     bl.Makespan,
+		OverlapModel:    s.Grid.PredictOverlap(v, s.Machine),
+		BlockingModel:   s.Grid.PredictNonOverlap(v, s.Machine),
+		OverlapCPUUtil:  ov.CPUUtilization,
+		BlockingCPUUtil: bl.CPUUtilization,
+	}
+}
+
 // Run evaluates the sweep: simulated and analytic completion times for both
-// schedules at every height.
+// schedules at every height. The (height, mode) points fan out over a
+// bounded worker pool; the rows are assembled in height order and are
+// identical to RunSequential's (see TestRunParallelMatchesSequential).
 func (s Sweep) Run() ([]SweepRow, error) {
+	pts := make([]simPoint, 0, 2*len(s.Heights))
+	for _, v := range s.Heights {
+		pts = append(pts, simPoint{v, sim.Overlapped}, simPoint{v, sim.Blocking})
+	}
+	res, err := s.evalPoints(s.cache(), pts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, 0, len(s.Heights))
+	for i, v := range s.Heights {
+		rows = append(rows, s.rowAt(v, res[2*i], res[2*i+1]))
+	}
+	return rows, nil
+}
+
+// RunSequential is the retained sequential reference implementation of Run:
+// one direct simulation after another, no worker pool, no cache. The
+// determinism test checks Run against it point for point.
+func (s Sweep) RunSequential() ([]SweepRow, error) {
 	rows := make([]SweepRow, 0, len(s.Heights))
 	for _, v := range s.Heights {
 		ov, err := sim.SimulateGrid(s.Grid, v, s.Machine, sim.Overlapped, s.Cap)
@@ -123,54 +249,58 @@ func (s Sweep) Run() ([]SweepRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: V=%d blocking: %w", s.ID, v, err)
 		}
-		rows = append(rows, SweepRow{
-			V:               v,
-			G:               s.Grid.TileVolume(v),
-			OverlapSim:      ov.Makespan,
-			BlockingSim:     bl.Makespan,
-			OverlapModel:    s.Grid.PredictOverlap(v, s.Machine),
-			BlockingModel:   s.Grid.PredictNonOverlap(v, s.Machine),
-			OverlapCPUUtil:  ov.CPUUtilization,
-			BlockingCPUUtil: bl.CPUUtilization,
-		})
+		rows = append(rows, s.rowAt(v, ov, bl))
 	}
 	return rows, nil
 }
 
 // Optimum finds the simulated-optimal tile height for the given mode by a
 // ladder pass followed by a multiplicative refinement around the best rung.
+// Each pass evaluates its heights on the parallel worker pool; refinement
+// rungs that duplicate already-evaluated ladder rungs are skipped (they
+// could never win the strict-improvement comparison), and the cache
+// deduplicates any heights shared with previous Run or Optimum calls.
 func (s Sweep) Optimum(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
-	runOne := func(v int64) (float64, error) {
-		cap := s.Cap
-		if mode == sim.Blocking {
-			cap = sim.CapNone
+	c := s.cache()
+	eval := func(hs []int64) ([]sim.Result, error) {
+		pts := make([]simPoint, len(hs))
+		for i, v := range hs {
+			pts[i] = simPoint{v, mode}
 		}
-		r, err := sim.SimulateGrid(s.Grid, v, s.Machine, mode, cap)
-		if err != nil {
-			return 0, err
-		}
-		return r.Makespan, nil
+		return s.evalPoints(c, pts)
 	}
 	best := int64(-1)
 	bestT := 0.0
-	try := func(vs []int64) error {
-		for _, v := range vs {
-			t, err := runOne(v)
-			if err != nil {
-				return err
-			}
-			if best < 0 || t < bestT {
+	// consider scans heights in input order with a strict-improvement
+	// update, matching the sequential search exactly: the earliest height
+	// of minimal makespan wins.
+	consider := func(hs []int64, rs []sim.Result) {
+		for i, v := range hs {
+			if t := rs[i].Makespan; best < 0 || t < bestT {
 				best, bestT = v, t
 			}
 		}
-		return nil
 	}
-	if err := try(s.Heights); err != nil {
+	ladder, err := eval(s.Heights)
+	if err != nil {
 		return 0, 0, err
 	}
-	if err := try(Refine(best, 1, s.Grid.K, 13)); err != nil {
+	consider(s.Heights, ladder)
+	seen := make(map[int64]bool, len(s.Heights))
+	for _, v := range s.Heights {
+		seen[v] = true
+	}
+	var refined []int64
+	for _, v := range Refine(best, 1, s.Grid.K, 13) {
+		if !seen[v] {
+			refined = append(refined, v)
+		}
+	}
+	fine, err := eval(refined)
+	if err != nil {
 		return 0, 0, err
 	}
+	consider(refined, fine)
 	return best, bestT, nil
 }
 

@@ -53,6 +53,11 @@ func Fig12() ([]Fig12Row, error) {
 func Fig12For(sweeps []Sweep) ([]Fig12Row, error) {
 	rows := make([]Fig12Row, 0, len(sweeps))
 	for _, s := range sweeps {
+		if s.Cache == nil {
+			// Share one memo between the two optimum searches and within
+			// each search's ladder+refine passes.
+			s.Cache = sim.NewCache()
+		}
 		vOv, tOv, err := s.Optimum(sim.Overlapped)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// shrinkSweep scales a paper sweep down for fast deterministic tests.
+func shrinkSweep(s Sweep, factor int64) Sweep {
+	s.Grid.K /= factor
+	s.Heights = Ladder(4, s.Grid.K/4)
+	return s
+}
+
+// TestRunParallelMatchesSequential: the parallel worker-pool Run must
+// produce rows deep-equal (bit-identical floats included) to the retained
+// sequential reference implementation, for each figure's configuration.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name   string
+		sweep  Sweep
+		factor int64
+	}{
+		{"fig9", Fig9(), 64},
+		{"fig10", Fig10(), 128},
+		{"fig11", Fig11(), 16},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := shrinkSweep(tc.sweep, tc.factor)
+			if len(s.Heights) < 3 {
+				t.Fatalf("scaled sweep has only %d heights", len(s.Heights))
+			}
+			par, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := s.RunSequential()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par, seq) {
+				t.Errorf("parallel rows differ from sequential reference:\npar: %+v\nseq: %+v", par, seq)
+			}
+		})
+	}
+}
+
+// TestRunSharedCacheIdentical: running through a shared cache (hits on the
+// second call) returns the same rows as the first.
+func TestRunSharedCacheIdentical(t *testing.T) {
+	s := shrinkSweep(Fig9(), 64)
+	s.Cache = sim.NewCache()
+	first, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := s.Cache.Len()
+	if want := 2 * len(s.Heights); points != want {
+		t.Errorf("cache holds %d points after Run, want %d", points, want)
+	}
+	second, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cache.Len() != points {
+		t.Errorf("second Run simulated new points: %d -> %d", points, s.Cache.Len())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached rows differ from fresh rows")
+	}
+}
+
+// TestOptimumUsesCache: the ladder pass of Optimum revisits every height the
+// preceding Run simulated, so with a shared cache the search must only add
+// its novel refinement rungs.
+func TestOptimumUsesCache(t *testing.T) {
+	s := shrinkSweep(Fig9(), 64)
+	s.Cache = sim.NewCache()
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	afterRun := s.Cache.Len()
+	v1, t1, err := s.Optimum(sim.Overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := s.Cache.Len() - afterRun
+	if grew > 13 {
+		t.Errorf("Optimum added %d points, refinement should add at most 13", grew)
+	}
+	// A second identical search is answered fully from the cache.
+	before := s.Cache.Len()
+	v2, t2, err := s.Optimum(sim.Overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cache.Len() != before {
+		t.Errorf("repeated Optimum simulated %d new points", s.Cache.Len()-before)
+	}
+	if v1 != v2 || t1 != t2 {
+		t.Errorf("repeated Optimum disagrees: (%d, %g) vs (%d, %g)", v1, t1, v2, t2)
+	}
+}
+
+// TestRefineDedupSorted: clamping to [lo, hi] and integer rounding collapse
+// rungs; the emitted list must be strictly increasing with no duplicates
+// and stay within bounds.
+func TestRefineDedupSorted(t *testing.T) {
+	cases := []struct {
+		center, lo, hi int64
+		n              int
+	}{
+		{100, 1, 1000, 13},
+		{4, 1, 1000, 13},   // 0.5x..1.5x of 4 collapses heavily when rounded
+		{100, 90, 110, 13}, // both tails clamp onto the bounds
+		{1, 1, 1, 5},       // degenerate range: single height
+		{16, 1, 64, 1},     // n below 2 is raised to 2
+	}
+	for _, tc := range cases {
+		vs := Refine(tc.center, tc.lo, tc.hi, tc.n)
+		if len(vs) == 0 {
+			t.Errorf("Refine(%d,%d,%d,%d) returned no heights", tc.center, tc.lo, tc.hi, tc.n)
+			continue
+		}
+		if !sort.SliceIsSorted(vs, func(i, j int) bool { return vs[i] < vs[j] }) {
+			t.Errorf("Refine(%d,%d,%d,%d) not sorted: %v", tc.center, tc.lo, tc.hi, tc.n, vs)
+		}
+		for i := 1; i < len(vs); i++ {
+			if vs[i] == vs[i-1] {
+				t.Errorf("Refine(%d,%d,%d,%d) emits duplicate %d: %v", tc.center, tc.lo, tc.hi, tc.n, vs[i], vs)
+			}
+		}
+		for _, v := range vs {
+			if v < tc.lo || v > tc.hi {
+				t.Errorf("Refine(%d,%d,%d,%d) emits out-of-range %d", tc.center, tc.lo, tc.hi, tc.n, v)
+			}
+		}
+	}
+}
+
+// TestRunErrorPropagates: a bad height must fail the whole parallel run
+// with the point identified, not deadlock the pool.
+func TestRunErrorPropagates(t *testing.T) {
+	s := shrinkSweep(Fig9(), 64)
+	s.Heights = append(append([]int64{}, s.Heights...), s.Grid.K+1) // out of range
+	if _, err := s.Run(); err == nil {
+		t.Fatal("Run accepted an out-of-range height")
+	}
+}

@@ -8,35 +8,70 @@ import (
 )
 
 // builder constructs the simnet activity graph for one Config.
+//
+// All bookkeeping is integer-indexed: a tile is identified by its
+// lexicographic rank in the tile space (the coordinates packed into one
+// int64 via the space's extents), processors by their rank, and the
+// inbox/outbox indexes are flat (proc, step)-addressed slices whose buckets
+// are carved out of a single backing array sized numTiles × deps up front.
+// Messages live in a chunked arena. Human-readable activity labels are only
+// materialized when Config.Trace is set; untraced sweeps run label-free.
 type builder struct {
-	cfg      Config
-	eng      *simnet.Engine
-	nodes    []node
-	bus      *simnet.Resource // the single medium in SharedBus mode
-	numTiles int
+	cfg   Config
+	eng   *simnet.Engine
+	nodes []node
+	bus   *simnet.Resource // the single medium in SharedBus mode
+	trace bool
 
-	// msgs indexes every cross-processor message by "from>to" tile pair.
-	msgs map[string]*message
-	// inbox[proc][localStep] lists messages consumed by that tile.
-	inbox map[int64]map[int64][]*message
-	// outbox[proc][localStep] lists messages produced by that tile.
-	outbox map[int64]map[int64][]*message
-	// computeActs[tileKey] is the A2 activity of each tile.
-	computeActs map[string]*simnet.Activity
+	numProcs int64
+	steps    int64 // tiles per processor (extent of the mapping dimension)
+	numTiles int
+	numMsgs  int
+
+	// tiles[p*steps+s] describes the tile processor p runs at local step s.
+	tiles []tileInfo
+	// inbox[p*steps+s] lists messages consumed by that tile; outbox the
+	// messages it produces. Bucket capacity is deps.Len() each.
+	inbox  [][]*message
+	outbox [][]*message
+	// computeActs[tileRank] is the A2 activity of each tile.
+	computeActs []*simnet.Activity
+	msgs        msgArena
 	// pending holds consumption edges whose producing message had not been
 	// issued yet at construction time.
 	pending []pendingEdge
 }
 
-func newBuilder(cfg Config) *builder {
-	return &builder{
-		cfg:         cfg,
-		eng:         simnet.NewEngine(),
-		msgs:        make(map[string]*message),
-		inbox:       make(map[int64]map[int64][]*message),
-		outbox:      make(map[int64]map[int64][]*message),
-		computeActs: make(map[string]*simnet.Activity),
+// tileInfo is the precomputed per-tile record the emission passes run on,
+// so they never touch coordinate vectors (except for trace labels).
+type tileInfo struct {
+	rank   int64 // lexicographic rank in the tile space
+	volume int64 // iteration points (boundary tiles may be smaller)
+	exists bool  // the (proc, step) slot holds a tile of the space
+	coord  ilmath.Vec // populated only when tracing, for labels
+}
+
+// msgArena allocates messages in chunked slabs: pointers stay stable while
+// the arena grows, and the whole graph's messages amount to a handful of
+// allocations instead of one per dependence edge.
+type msgArena struct {
+	chunks [][]message
+	n      int
+}
+
+const msgChunkSize = 512
+
+func (a *msgArena) alloc() *message {
+	chunk, idx := a.n/msgChunkSize, a.n%msgChunkSize
+	if chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]message, msgChunkSize))
 	}
+	a.n++
+	return &a.chunks[chunk][idx]
+}
+
+func newBuilder(cfg Config, eng *simnet.Engine) *builder {
+	return &builder{cfg: cfg, eng: eng, trace: cfg.Trace}
 }
 
 // speed returns node p's CPU speed factor (1.0 when homogeneous).
@@ -47,12 +82,36 @@ func (b *builder) speed(p int64) float64 {
 	return b.cfg.NodeSpeed(p)
 }
 
-func msgKey(from, to ilmath.Vec) string { return from.String() + ">" + to.String() }
+// procRank computes Map.ProcRank(tc) without materializing the projected
+// processor coordinate: it linearizes tc over the processor space, skipping
+// the mapping dimension.
+func (b *builder) procRank(tc ilmath.Vec) int64 {
+	m := b.cfg.Topo.Map
+	if len(tc) == 1 {
+		return 0
+	}
+	ps := m.ProcSpace
+	var r int64
+	pi := 0
+	for d := 0; d < len(tc); d++ {
+		if d == m.MapDim {
+			continue
+		}
+		r = r*ps.Extent(pi) + (tc[d] - ps.Lower[pi])
+		pi++
+	}
+	return r
+}
 
 func (b *builder) build() error {
-	b.eng.KeepTrace(b.cfg.Trace)
+	b.eng.KeepTrace(b.trace)
+	b.eng.KeepUtilization(b.trace)
 	b.makeNodes()
 	b.collectMessages()
+	// Pre-size the engine: each tile emits one compute plus a few activities
+	// and edges per message (at most 6 activities and ~12 edges per message
+	// across both modes, bus stage included).
+	b.eng.Reserve(b.numTiles+6*b.numMsgs+1, 2*b.numTiles+12*b.numMsgs)
 	switch b.cfg.Mode {
 	case Blocking:
 		b.buildBlocking()
@@ -63,72 +122,147 @@ func (b *builder) build() error {
 }
 
 // makeNodes creates the per-processor resources according to the hardware
-// capability.
+// capability. Resource names are only rendered when tracing; the engine
+// identifies resources by pointer.
 func (b *builder) makeNodes() {
 	n := b.cfg.Topo.Map.NumProcs()
+	b.numProcs = n
 	b.nodes = make([]node, n)
+	rname := func(format string, p int64) string {
+		if !b.trace {
+			return ""
+		}
+		return fmt.Sprintf(format, p)
+	}
 	if b.cfg.Network == SharedBus {
-		b.bus = b.eng.NewResource("bus")
+		busName := ""
+		if b.trace {
+			busName = "bus"
+		}
+		b.bus = b.eng.NewResource(busName)
 	}
 	for p := int64(0); p < n; p++ {
-		cpu := b.eng.NewResource(fmt.Sprintf("cpu%d", p))
+		cpu := b.eng.NewResource(rname("cpu%d", p))
 		var in, out *simnet.Resource
 		switch b.cfg.Cap {
 		case CapFullDuplex:
-			in = b.eng.NewResource(fmt.Sprintf("rx%d", p))
-			out = b.eng.NewResource(fmt.Sprintf("tx%d", p))
+			in = b.eng.NewResource(rname("rx%d", p))
+			out = b.eng.NewResource(rname("tx%d", p))
 		default: // CapNone, CapDMA: one half-duplex comm channel
-			ch := b.eng.NewResource(fmt.Sprintf("comm%d", p))
+			ch := b.eng.NewResource(rname("comm%d", p))
 			in, out = ch, ch
 		}
 		b.nodes[p] = node{cpu: cpu, commIn: in, commOut: out}
 	}
 }
 
-// collectMessages enumerates every tile and every tiled dependence, creating
-// a message record for each cross-processor edge and indexing it by the
-// sender's and receiver's local steps.
+// collectMessages enumerates every tile and every tiled dependence, filling
+// the per-tile records and creating a message for each cross-processor edge,
+// indexed by the sender's and receiver's (proc, step) slots.
 func (b *builder) collectMessages() {
 	topo := b.cfg.Topo
-	topo.TileSpace.Points(func(tc ilmath.Vec) bool {
+	ts := topo.TileSpace
+	m := topo.Map
+	b.steps = m.TilesPerProc()
+	nSlots := int(b.numProcs * b.steps)
+	nDeps := b.cfg.Deps.Len()
+	depVecs := b.cfg.Deps.Vectors()
+
+	b.tiles = make([]tileInfo, nSlots)
+	b.computeActs = make([]*simnet.Activity, ts.Volume())
+	// One backing array for every inbox and outbox bucket: a tile has at
+	// most one in-edge and one out-edge per dependence vector.
+	backing := make([]*message, 2*nSlots*nDeps)
+	b.inbox = make([][]*message, nSlots)
+	b.outbox = make([][]*message, nSlots)
+	for i := 0; i < nSlots; i++ {
+		in := i * nDeps
+		out := (nSlots + i) * nDeps
+		b.inbox[i] = backing[in:in : in+nDeps]
+		b.outbox[i] = backing[out:out : out+nDeps]
+	}
+
+	mapDim := m.MapDim
+	mapLower := ts.Lower[mapDim]
+	from := make(ilmath.Vec, ts.Dim())
+	ts.Points(func(tc ilmath.Vec) bool {
 		b.numTiles++
-		toProc := topo.Map.ProcRank(tc)
-		toStep := topo.Map.LocalStep(tc)
-		for i := 0; i < b.cfg.Deps.Len(); i++ {
-			d := b.cfg.Deps.At(i)
-			from := tc.Sub(d)
-			if !topo.TileSpace.Contains(from) {
+		toProc := b.procRank(tc)
+		toStep := tc[mapDim] - mapLower
+		slot := toProc*b.steps + toStep
+		ti := &b.tiles[slot]
+		ti.rank = ts.Linearize(tc)
+		ti.volume = topo.TileVolume(tc)
+		ti.exists = true
+		if b.trace {
+			ti.coord = tc.Clone()
+		}
+		for i := 0; i < nDeps; i++ {
+			d := depVecs[i]
+			for j := range tc {
+				from[j] = tc[j] - d[j]
+			}
+			if !ts.Contains(from) {
 				continue
 			}
-			fromProc := topo.Map.ProcRank(from)
+			fromProc := b.procRank(from)
 			if fromProc == toProc {
 				continue // intra-processor dependence: no message
 			}
-			if topo.MsgBytes(from, tc) <= 0 {
+			bytes := topo.MsgBytes(from, tc)
+			if bytes <= 0 {
 				continue // empty transfer (e.g. an empty tile of a skewed
 				// tiling's bounding box): no message, no dependence edge
 			}
-			m := &message{
-				from:     from.Clone(),
-				to:       tc.Clone(),
+			msg := b.msgs.alloc()
+			*msg = message{
+				fromRank: ts.Linearize(from),
+				toRank:   ti.rank,
 				fromProc: fromProc,
 				toProc:   toProc,
-				bytes:    topo.MsgBytes(from, tc),
+				bytes:    bytes,
 			}
-			b.msgs[msgKey(m.from, m.to)] = m
-			fromStep := topo.Map.LocalStep(m.from)
-			addToIndex(b.outbox, fromProc, fromStep, m)
-			addToIndex(b.inbox, toProc, toStep, m)
+			if b.trace {
+				msg.from = from.Clone()
+				msg.to = tc.Clone()
+			}
+			b.numMsgs++
+			fromStep := from[mapDim] - mapLower
+			fromSlot := fromProc*b.steps + fromStep
+			b.outbox[fromSlot] = append(b.outbox[fromSlot], msg)
+			b.inbox[slot] = append(b.inbox[slot], msg)
 		}
 		return true
 	})
 }
 
-func addToIndex(idx map[int64]map[int64][]*message, proc, step int64, m *message) {
-	if idx[proc] == nil {
-		idx[proc] = make(map[int64][]*message)
+// inboxAt returns the messages consumed by processor p's step-s tile;
+// out-of-range steps (the s+1 lookahead past the last step) yield nil.
+func (b *builder) inboxAt(p, s int64) []*message {
+	if s < 0 || s >= b.steps {
+		return nil
 	}
-	idx[proc][step] = append(idx[proc][step], m)
+	return b.inbox[p*b.steps+s]
+}
+
+// mlabel renders a message-activity label ("prefixFROM->TO", or "<-" with
+// the operands swapped) only when tracing.
+func (b *builder) mlabel(prefix string, m *message, recv bool) string {
+	if !b.trace {
+		return ""
+	}
+	if recv {
+		return fmt.Sprintf("%s%v<-%v", prefix, m.to, m.from)
+	}
+	return fmt.Sprintf("%s%v->%v", prefix, m.from, m.to)
+}
+
+// tlabel renders a tile-activity label only when tracing.
+func (b *builder) tlabel(prefix string, ti *tileInfo) string {
+	if !b.trace {
+		return ""
+	}
+	return fmt.Sprintf("%s%v", prefix, ti.coord)
 }
 
 // buildBlocking emits the ProcB structure of Section 5: for every local
@@ -141,8 +275,6 @@ func addToIndex(idx map[int64]map[int64][]*message, proc, step int64, m *message
 // processor's turn in its program order.
 func (b *builder) buildBlocking() {
 	mch := b.cfg.Machine
-	topo := b.cfg.Topo
-	steps := topo.Map.TilesPerProc()
 	prevCPU := make([]*simnet.Activity, len(b.nodes))
 
 	chain := func(p int64, a *simnet.Activity) *simnet.Activity {
@@ -153,40 +285,41 @@ func (b *builder) buildBlocking() {
 		return a
 	}
 
-	for s := int64(0); s < steps; s++ {
-		b.forEachProc(func(p int64, proc ilmath.Vec) {
-			tc := topo.Map.TileCoord(proc, s)
-			if !topo.TileSpace.Contains(tc) {
-				return
+	for s := int64(0); s < b.steps; s++ {
+		for p := int64(0); p < b.numProcs; p++ {
+			slot := p*b.steps + s
+			ti := &b.tiles[slot]
+			if !ti.exists {
+				continue
 			}
 			cpu := b.nodes[p].cpu
 			// Blocking receives: copy kernel→user (B2) and prepare the MPI
 			// buffer (A3) on the CPU, after the data hit the wire's end.
-			for _, m := range b.inbox[p][s] {
+			for _, m := range b.inbox[slot] {
 				recv := b.eng.NewActivity(cpu,
 					(mch.FillKernel(m.bytes)+mch.FillMPI(m.bytes))/b.speed(p),
-					fmt.Sprintf("recv%v<-%v", m.to, m.from))
+					b.mlabel("recv", m, true))
 				chain(p, recv)
 				b.eng.AddDep(b.ensureWire(m), recv)
 				m.dataReady = recv
 			}
 			// Compute.
 			comp := b.eng.NewActivity(cpu,
-				float64(topo.TileVolume(tc))*mch.Tc/b.speed(p),
-				fmt.Sprintf("compute%v", tc))
+				float64(ti.volume)*mch.Tc/b.speed(p),
+				b.tlabel("compute", ti))
 			chain(p, comp)
-			b.computeActs[tc.String()] = comp
+			b.computeActs[ti.rank] = comp
 			// Blocking sends: fill MPI buffer (A1) + kernel copy (B3) on
 			// CPU, then the wire stages.
-			for _, m := range b.outbox[p][s] {
+			for _, m := range b.outbox[slot] {
 				send := b.eng.NewActivity(cpu,
 					(mch.FillMPI(m.bytes)+mch.FillKernel(m.bytes))/b.speed(p),
-					fmt.Sprintf("send%v->%v", m.from, m.to))
+					b.mlabel("send", m, false))
 				chain(p, send)
 				b.eng.AddDep(comp, send)
 				b.queueWire(m, send)
 			}
-		})
+		}
 	}
 	// Consumption edges are implicit: each tile's inbound receive ops
 	// precede its compute in the same step's CPU chain, and the inbox is
@@ -199,11 +332,7 @@ func (b *builder) buildBlocking() {
 // has none) and the wire rides the comm channels.
 func (b *builder) buildOverlapped() {
 	mch := b.cfg.Machine
-	topo := b.cfg.Topo
-	steps := topo.Map.TilesPerProc()
 	prevCPU := make([]*simnet.Activity, len(b.nodes))
-	// recvPosted[key of message] = the A3 activity that posted its buffer.
-	recvPosted := make(map[string]*simnet.Activity)
 
 	chain := func(p int64, a *simnet.Activity) *simnet.Activity {
 		if prevCPU[p] != nil {
@@ -215,18 +344,18 @@ func (b *builder) buildOverlapped() {
 
 	postRecv := func(p int64, m *message) {
 		a := b.eng.NewActivity(b.nodes[p].cpu, mch.FillMPI(m.bytes)/b.speed(p),
-			fmt.Sprintf("irecv%v<-%v", m.to, m.from))
+			b.mlabel("irecv", m, true))
 		chain(p, a)
-		recvPosted[msgKey(m.from, m.to)] = a
+		m.posted = a
 	}
 
 	issueSend := func(p int64, m *message) {
 		// A1: CPU fills the MPI send buffer.
 		a1 := b.eng.NewActivity(b.nodes[p].cpu, mch.FillMPI(m.bytes)/b.speed(p),
-			fmt.Sprintf("isend%v->%v", m.from, m.to))
+			b.mlabel("isend", m, false))
 		chain(p, a1)
 		// The data being sent was produced by the 'from' tile's compute.
-		if comp := b.computeActs[m.from.String()]; comp != nil {
+		if comp := b.computeActs[m.fromRank]; comp != nil {
 			b.eng.AddDep(comp, a1)
 		}
 		// B3: kernel copy, on DMA or CPU depending on capability.
@@ -236,8 +365,7 @@ func (b *builder) buildOverlapped() {
 			b3res = b.nodes[p].cpu
 			b3dur /= b.speed(p)
 		}
-		b3 := b.eng.NewActivity(b3res, b3dur,
-			fmt.Sprintf("kcopy-tx%v->%v", m.from, m.to))
+		b3 := b.eng.NewActivity(b3res, b3dur, b.mlabel("kcopy-tx", m, false))
 		b.eng.AddDep(a1, b3)
 		// B4 wire out, then B1 wire in at the receiver (or one shared-bus
 		// occupancy).
@@ -249,43 +377,43 @@ func (b *builder) buildOverlapped() {
 			b2res = b.nodes[m.toProc].cpu
 			b2dur /= b.speed(m.toProc)
 		}
-		b2 := b.eng.NewActivity(b2res, b2dur,
-			fmt.Sprintf("kcopy-rx%v<-%v", m.to, m.from))
+		b2 := b.eng.NewActivity(b2res, b2dur, b.mlabel("kcopy-rx", m, true))
 		b.eng.AddDep(b1, b2)
-		if post := recvPosted[msgKey(m.from, m.to)]; post != nil {
-			b.eng.AddDep(post, b2)
+		if m.posted != nil {
+			b.eng.AddDep(m.posted, b2)
 		}
 		m.dataReady = b2
 		m.sendQueued = true
 	}
 
-	for s := int64(0); s < steps; s++ {
-		b.forEachProc(func(p int64, proc ilmath.Vec) {
-			tc := topo.Map.TileCoord(proc, s)
-			if !topo.TileSpace.Contains(tc) {
-				return
+	for s := int64(0); s < b.steps; s++ {
+		for p := int64(0); p < b.numProcs; p++ {
+			slot := p*b.steps + s
+			ti := &b.tiles[slot]
+			if !ti.exists {
+				continue
 			}
 			cpu := b.nodes[p].cpu
 			// Prologue at s = 0: post receives for this first tile's own
 			// inputs (the pseudocode pre-posts them before the loop).
 			if s == 0 {
-				for _, m := range b.inbox[p][0] {
+				for _, m := range b.inbox[slot] {
 					postRecv(p, m)
 				}
 			}
 			// A1 phase: send the results produced at step s−1.
 			if s > 0 {
-				for _, m := range b.outbox[p][s-1] {
+				for _, m := range b.outbox[slot-1] {
 					issueSend(p, m)
 				}
 			}
 			// A2: compute, gated on all inbound data for this tile.
 			comp := b.eng.NewActivity(cpu,
-				float64(topo.TileVolume(tc))*mch.Tc/b.speed(p),
-				fmt.Sprintf("compute%v", tc))
+				float64(ti.volume)*mch.Tc/b.speed(p),
+				b.tlabel("compute", ti))
 			chain(p, comp)
-			b.computeActs[tc.String()] = comp
-			for _, m := range b.inbox[p][s] {
+			b.computeActs[ti.rank] = comp
+			for _, m := range b.inbox[slot] {
 				if m.dataReady == nil {
 					// Sender has not issued yet (sender's issuing step is
 					// after ours in construction order); defer via a
@@ -296,19 +424,19 @@ func (b *builder) buildOverlapped() {
 				}
 			}
 			// A3 phase: post receives for step s+1's inputs.
-			for _, m := range b.inbox[p][s+1] {
+			for _, m := range b.inboxAt(p, s+1) {
 				postRecv(p, m)
 			}
-		})
+		}
 	}
 	// Epilogue: results of the last local step still have to be sent.
-	b.forEachProc(func(p int64, proc ilmath.Vec) {
-		for _, m := range b.outbox[p][steps-1] {
+	for p := int64(0); p < b.numProcs; p++ {
+		for _, m := range b.outbox[p*b.steps+b.steps-1] {
 			if !m.sendQueued {
 				issueSend(p, m)
 			}
 		}
-	})
+	}
 	b.resolveDeferred()
 }
 
@@ -326,9 +454,11 @@ func (b *builder) deferConsume(m *message, comp *simnet.Activity) {
 }
 
 func (b *builder) resolveDeferred() {
+	ts := b.cfg.Topo.TileSpace
 	for _, pe := range b.pending {
 		if pe.m.dataReady == nil {
-			panic(fmt.Sprintf("sim: message %v->%v never issued", pe.m.from, pe.m.to))
+			panic(fmt.Sprintf("sim: message %v->%v never issued",
+				ts.Delinearize(pe.m.fromRank), ts.Delinearize(pe.m.toRank)))
 		}
 		b.eng.AddDep(pe.m.dataReady, pe.comp)
 	}
@@ -341,7 +471,7 @@ func (b *builder) resolveDeferred() {
 // port); on a shared bus it is a single occupancy of the one medium.
 func (b *builder) wire(m *message, pred *simnet.Activity) *simnet.Activity {
 	b4 := b.eng.NewActivity(b.nodes[m.fromProc].commOut, b.cfg.Machine.Wire(m.bytes),
-		fmt.Sprintf("wire-tx%v->%v", m.from, m.to))
+		b.mlabel("wire-tx", m, false))
 	if pred != nil {
 		b.eng.AddDep(pred, b4)
 	}
@@ -350,12 +480,12 @@ func (b *builder) wire(m *message, pred *simnet.Activity) *simnet.Activity {
 		// The shared medium is an extra arbitration stage between the tx
 		// and rx ports: every message in the cluster serializes through it.
 		w := b.eng.NewActivity(b.bus, b.cfg.Machine.Wire(m.bytes),
-			fmt.Sprintf("wire-bus%v->%v", m.from, m.to))
+			b.mlabel("wire-bus", m, false))
 		b.eng.AddDep(last, w)
 		last = w
 	}
 	b1 := b.eng.NewActivity(b.nodes[m.toProc].commIn, b.cfg.Machine.Wire(m.bytes),
-		fmt.Sprintf("wire-rx%v<-%v", m.to, m.from))
+		b.mlabel("wire-rx", m, true))
 	b.eng.AddDep(last, b1)
 	m.wireIn = b1
 	m.wireOut = b4
@@ -378,13 +508,4 @@ func (b *builder) queueWire(m *message, send *simnet.Activity) {
 	b.ensureWire(m)
 	b.eng.AddDep(send, m.wireOut)
 	m.sendQueued = true
-}
-
-// forEachProc visits processors in rank order.
-func (b *builder) forEachProc(f func(rank int64, proc ilmath.Vec)) {
-	ps := b.cfg.Topo.Map.ProcSpace
-	ps.Points(func(pc ilmath.Vec) bool {
-		f(ps.Linearize(pc), pc.Clone())
-		return true
-	})
 }

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// cacheKey identifies one grid simulation point. Every field is a plain
+// comparable value, so two requests for the same point — e.g. a ladder rung
+// revisited by the refinement pass of an optimum search, or a sweep height
+// re-simulated by a later Optimum call — collapse onto one entry.
+type cacheKey struct {
+	grid    model.Grid3D
+	v       int64
+	machine model.Machine
+	mode    Mode
+	cap     Capability
+	net     Network
+}
+
+// Cache memoizes grid simulation results keyed on (grid, V, machine, mode,
+// capability, network). The simulator is deterministic, so a cached Result
+// is bit-identical to a fresh run. A Cache is safe for concurrent use and
+// keeps a pool of Simulators so concurrent misses reuse engine memory
+// instead of allocating fresh engines.
+type Cache struct {
+	mu   sync.RWMutex
+	m    map[cacheKey]Result
+	pool sync.Pool
+}
+
+// NewCache returns an empty simulation cache.
+func NewCache() *Cache {
+	return &Cache{
+		m:    make(map[cacheKey]Result),
+		pool: sync.Pool{New: func() any { return NewSimulator() }},
+	}
+}
+
+// Len returns how many distinct points have been simulated.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// SimulateGrid is the memoized SimulateGrid: a hit returns the stored
+// Result, a miss simulates (reusing a pooled engine) and stores it.
+func (c *Cache) SimulateGrid(g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability) (Result, error) {
+	return c.SimulateGridNet(g, v, m, mode, cap, Switched)
+}
+
+// SimulateGridNet is SimulateGrid with an explicit interconnect model.
+func (c *Cache) SimulateGridNet(g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, net Network) (Result, error) {
+	key := cacheKey{grid: g, v: v, machine: m, mode: mode, cap: cap, net: net}
+	c.mu.RLock()
+	r, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return r, nil
+	}
+	cfg, err := GridConfig(g, v, m, mode, cap)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Network = net
+	sm := c.pool.Get().(*Simulator)
+	r, err = sm.Simulate(cfg)
+	c.pool.Put(sm)
+	if err != nil {
+		return Result{}, err
+	}
+	// Concurrent misses on the same key store identical values, so the last
+	// writer winning is harmless.
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+	return r, nil
+}

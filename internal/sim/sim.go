@@ -138,6 +138,9 @@ type Config struct {
 
 // Result of one simulation.
 type Result struct {
+	// Result carries the makespan plus, when Config.Trace is set, the full
+	// execution trace and the per-resource Utilization map (nil otherwise —
+	// untraced sweeps skip the map churn; CPUUtilization is always set).
 	simnet.Result
 	NumTiles    int
 	NumMessages int
@@ -197,44 +200,87 @@ type node struct {
 	commOut *simnet.Resource
 }
 
-// message tracks the activity pipeline of one tile-to-tile transfer.
+// message tracks the activity pipeline of one tile-to-tile transfer. Tiles
+// are identified by their rank in the tile space; the coordinate vectors
+// are only retained for labels when tracing.
 type message struct {
-	from, to   ilmath.Vec
+	fromRank   int64
+	toRank     int64
 	fromProc   int64
 	toProc     int64
 	bytes      int64
+	from, to   ilmath.Vec       // populated only when Config.Trace is set
 	dataReady  *simnet.Activity // last stage (B2); compute at 'to' depends on it
 	wireIn     *simnet.Activity // B1, used by blocking receive copy
 	wireOut    *simnet.Activity // B4, gated on the sender's CPU send op
+	posted     *simnet.Activity // overlapped A3 that posted the receive buffer
 	sendQueued bool
 }
 
-// Simulate runs the configured schedule on the simulated cluster.
-func Simulate(cfg Config) (Result, error) {
+// Simulator runs simulations while reusing one discrete-event engine — and
+// all of its slab, heap and edge memory — across runs. A sweep worker keeps
+// one Simulator per goroutine; a Simulator itself is not safe for
+// concurrent use.
+type Simulator struct {
+	eng *simnet.Engine
+}
+
+// NewSimulator returns a Simulator with a fresh reusable engine.
+func NewSimulator() *Simulator {
+	return &Simulator{eng: simnet.NewEngine()}
+}
+
+// Simulate runs the configured schedule on the simulated cluster, reusing
+// the Simulator's engine memory.
+func (sm *Simulator) Simulate(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	b := newBuilder(cfg)
+	sm.eng.Reset()
+	b := newBuilder(cfg, sm.eng)
 	if err := b.build(); err != nil {
 		return Result{}, err
 	}
-	res, err := b.eng.Run()
+	res, err := sm.eng.Run()
 	if err != nil {
 		return Result{}, err
 	}
 	cpuUtil := 0.0
-	for i := range b.nodes {
-		cpuUtil += res.Utilization[fmt.Sprintf("cpu%d", i)]
+	if res.Makespan > 0 {
+		for i := range b.nodes {
+			cpuUtil += b.nodes[i].cpu.BusyTime()
+		}
+		cpuUtil /= res.Makespan * float64(len(b.nodes))
 	}
-	cpuUtil /= float64(len(b.nodes))
 	out := Result{
 		Result:         res,
 		NumTiles:       b.numTiles,
-		NumMessages:    len(b.msgs),
+		NumMessages:    b.numMsgs,
 		CPUUtilization: cpuUtil,
 	}
 	if cfg.Trace {
-		out.CritPath = b.eng.CriticalPath()
+		out.CritPath = sm.eng.CriticalPath()
 	}
 	return out, nil
+}
+
+// Simulate runs the configured schedule on the simulated cluster with a
+// one-shot engine. Callers running many simulations should hold a Simulator
+// (or use a Cache) to amortize the engine's memory.
+func Simulate(cfg Config) (Result, error) {
+	return NewSimulator().Simulate(cfg)
+}
+
+// BuildStats constructs the activity graph for cfg without running it and
+// reports its size. It exists so builder-layer performance (BenchmarkSimBuild)
+// is measurable separately from engine-layer performance.
+func BuildStats(cfg Config) (activities, messages int, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	b := newBuilder(cfg, simnet.NewEngine())
+	if err := b.build(); err != nil {
+		return 0, 0, err
+	}
+	return b.eng.NumActivities(), b.numMsgs, nil
 }

@@ -13,10 +13,16 @@
 // and may start only after all its predecessors have finished. A Resource
 // executes one activity at a time, picking among ready activities the one
 // that became ready first (ties broken by creation order).
+//
+// The engine is allocation-lean: activities and resources live in chunked
+// slabs owned by the Engine (pointers stay valid as the graph grows),
+// dependence edges accumulate in one flat list that Run compacts into a
+// CSR-style successor array via a two-pass degree count, and Reset lets a
+// caller reuse one Engine — and all of its backing memory — across many
+// simulations (one engine per sweep worker).
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -34,6 +40,11 @@ type Resource struct {
 	busyTime float64
 }
 
+// BusyTime returns the total time the resource spent executing activities
+// in the last Run. Dividing by the makespan gives its utilization without
+// materializing the Result.Utilization map.
+func (r *Resource) BusyTime() float64 { return r.busyTime }
+
 // Activity is a unit of work bound to one resource.
 type Activity struct {
 	ID       int
@@ -44,11 +55,12 @@ type Activity struct {
 	// Start and End are filled in by Run.
 	Start, End float64
 
-	npreds  int
-	succs   []*Activity
-	ready   float64 // max end time of completed predecessors
-	started bool
-	done    bool
+	npreds int
+	// Successors live in the engine's CSR array: succList[succOff:succOff+succN].
+	succOff, succN int32
+	ready          float64 // max end time of completed predecessors
+	started        bool
+	done           bool
 
 	// Critical-path bookkeeping (see critpath.go).
 	readyPred *Activity // the predecessor whose completion set `ready`
@@ -56,12 +68,37 @@ type Activity struct {
 	critKind  CritKind
 }
 
+// edge is one precedence constraint, buffered until Run builds the CSR
+// successor lists.
+type edge struct {
+	before, after *Activity
+}
+
+// Slab sizes: large enough that slab bookkeeping is negligible, small
+// enough that a tiny simulation doesn't waste memory.
+const (
+	actSlabSize = 4096
+	resSlabSize = 64
+)
+
 // Engine owns the resources and activities of one simulation.
 type Engine struct {
 	resources  []*Resource
 	activities []*Activity
-	trace      []TraceEntry
-	keepTrace  bool
+
+	// Chunked arenas backing the pointers above. Chunks are never
+	// reallocated, so &slab[i] stays valid while the graph grows; Reset
+	// rewinds the counters and reuses the same chunks.
+	actSlabs [][]Activity
+	resSlabs [][]Resource
+
+	edges    []edge
+	succList []*Activity
+	events   eventHeap
+
+	trace     []TraceEntry
+	keepTrace bool
+	skipUtil  bool
 }
 
 // TraceEntry records one executed activity for Gantt rendering.
@@ -75,13 +112,59 @@ type TraceEntry struct {
 // NewEngine returns an empty simulation.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset rewinds the engine so it can build and run a fresh simulation while
+// reusing every slab, heap and edge buffer of the previous one. Any Trace
+// slice handed out by the previous Run is abandoned to its caller (never
+// overwritten). Resource and Activity pointers from before the Reset must
+// not be used afterwards.
+func (e *Engine) Reset() {
+	e.resources = e.resources[:0]
+	e.activities = e.activities[:0]
+	e.edges = e.edges[:0]
+	e.succList = e.succList[:0]
+	e.events = e.events[:0]
+	if len(e.trace) > 0 {
+		e.trace = nil // the previous caller owns it now
+	}
+	e.keepTrace = false
+	e.skipUtil = false
+}
+
 // KeepTrace enables recording of a full execution trace (off by default to
 // keep large sweeps cheap).
 func (e *Engine) KeepTrace(on bool) { e.keepTrace = on }
 
+// KeepUtilization controls whether Run materializes the Result.Utilization
+// map (on by default). Sweep-style callers that read Resource.BusyTime
+// directly turn it off to avoid per-run map and string churn.
+func (e *Engine) KeepUtilization(on bool) { e.skipUtil = !on }
+
+// Reserve pre-sizes the engine's bookkeeping for a graph of about the given
+// number of activities and dependence edges, so a builder that knows its
+// tile and message counts up front avoids regrowth entirely.
+func (e *Engine) Reserve(activities, deps int) {
+	if n := len(e.activities) + activities; cap(e.activities) < n {
+		grown := make([]*Activity, len(e.activities), n)
+		copy(grown, e.activities)
+		e.activities = grown
+	}
+	if n := len(e.edges) + deps; cap(e.edges) < n {
+		grown := make([]edge, len(e.edges), n)
+		copy(grown, e.edges)
+		e.edges = grown
+	}
+}
+
 // NewResource registers a serially-shared resource.
 func (e *Engine) NewResource(name string) *Resource {
-	r := &Resource{ID: len(e.resources), Name: name}
+	n := len(e.resources)
+	chunk, idx := n/resSlabSize, n%resSlabSize
+	if chunk == len(e.resSlabs) {
+		e.resSlabs = append(e.resSlabs, make([]Resource, resSlabSize))
+	}
+	r := &e.resSlabs[chunk][idx]
+	pending := r.pending[:0] // keep the ready-heap's backing array across Resets
+	*r = Resource{ID: n, Name: name, pending: pending}
 	e.resources = append(e.resources, r)
 	return r
 }
@@ -96,7 +179,13 @@ func (e *Engine) NewActivity(r *Resource, duration float64, label string) *Activ
 	if duration < 0 || math.IsNaN(duration) {
 		panic(fmt.Sprintf("simnet: invalid duration %g for %q", duration, label))
 	}
-	a := &Activity{ID: len(e.activities), Label: label, Res: r, Duration: duration}
+	n := len(e.activities)
+	chunk, idx := n/actSlabSize, n%actSlabSize
+	if chunk == len(e.actSlabs) {
+		e.actSlabs = append(e.actSlabs, make([]Activity, actSlabSize))
+	}
+	a := &e.actSlabs[chunk][idx]
+	*a = Activity{ID: n, Label: label, Res: r, Duration: duration}
 	e.activities = append(e.activities, a)
 	return a
 }
@@ -106,8 +195,37 @@ func (e *Engine) AddDep(before, after *Activity) {
 	if before == nil || after == nil {
 		panic("simnet: nil activity in dependency")
 	}
-	before.succs = append(before.succs, after)
+	e.edges = append(e.edges, edge{before, after})
 	after.npreds++
+}
+
+// buildSuccs compacts the edge list into the CSR successor array: one pass
+// counts out-degrees, a prefix sum assigns offsets, a second pass fills.
+func (e *Engine) buildSuccs() {
+	for i := range e.edges {
+		e.edges[i].before.succN++
+	}
+	var off int32
+	for _, a := range e.activities {
+		a.succOff = off
+		off += a.succN
+		a.succN = 0
+	}
+	if cap(e.succList) < len(e.edges) {
+		e.succList = make([]*Activity, len(e.edges))
+	} else {
+		e.succList = e.succList[:len(e.edges)]
+	}
+	for _, ed := range e.edges {
+		b := ed.before
+		e.succList[b.succOff+b.succN] = ed.after
+		b.succN++
+	}
+}
+
+// succs returns a's successor list.
+func (e *Engine) succs(a *Activity) []*Activity {
+	return e.succList[a.succOff : a.succOff+a.succN]
 }
 
 // completion is an entry in the event heap.
@@ -117,52 +235,135 @@ type completion struct {
 	act *Activity
 }
 
+// eventHeap is a binary min-heap over (time, sequence). The push/pop
+// functions are hand-rolled instead of container/heap because the latter
+// boxes every pushed element into an interface — one allocation per
+// scheduled event, the dominant churn of large sweeps.
 type eventHeap []completion
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(completion)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// actHeap orders ready activities by (ready time, ID).
+func (h *eventHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// actHeap orders ready activities by (ready time, ID); same hand-rolled
+// heap as eventHeap for the same allocation reason.
 type actHeap []*Activity
 
-func (h actHeap) Len() int { return len(h) }
-func (h actHeap) Less(i, j int) bool {
+func (h actHeap) less(i, j int) bool {
 	if h[i].ready != h[j].ready {
 		return h[i].ready < h[j].ready
 	}
 	return h[i].ID < h[j].ID
 }
-func (h actHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *actHeap) Push(x any)   { *h = append(*h, x.(*Activity)) }
-func (h *actHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *actHeap) push(a *Activity) {
+	*h = append(*h, a)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *actHeap) pop() *Activity {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil // let the engine's Reset-retained backing array release it
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
 
 // Result summarizes a completed simulation.
 type Result struct {
 	Makespan float64
-	// Utilization maps resource name to busy-time / makespan.
+	// Utilization maps resource name to busy-time / makespan. It is nil
+	// when KeepUtilization(false) was set; read Resource.BusyTime instead.
 	Utilization map[string]float64
 	Trace       []TraceEntry
 }
 
 // Run executes the simulation to completion and returns the makespan. It
 // returns an error if not every activity could run, which indicates a
-// dependency cycle (a deadlocked schedule).
+// dependency cycle (a deadlocked schedule). Run consumes the dependence
+// counts, so it may be called only once per build; call Reset and rebuild
+// to simulate again.
 func (e *Engine) Run() (Result, error) {
-	var events eventHeap
+	e.buildSuccs()
+	e.events = e.events[:0]
+	events := &e.events
 	seq := 0
 	now := 0.0
 
 	startOn := func(r *Resource) {
-		for !r.busy && r.pending.Len() > 0 {
-			a := heap.Pop(&r.pending).(*Activity)
+		for !r.busy && len(r.pending) > 0 {
+			a := r.pending.pop()
 			start := a.ready
 			a.critPred = a.readyPred
 			a.critKind = CritDependency
@@ -183,7 +384,7 @@ func (e *Engine) Run() (Result, error) {
 			a.End = start + a.Duration
 			a.started = true
 			r.busy = true
-			heap.Push(&events, completion{t: a.End, seq: seq, act: a})
+			events.push(completion{t: a.End, seq: seq, act: a})
 			seq++
 		}
 	}
@@ -192,7 +393,7 @@ func (e *Engine) Run() (Result, error) {
 	for _, a := range e.activities {
 		if a.npreds == 0 {
 			a.ready = 0
-			heap.Push(&a.Res.pending, a)
+			a.Res.pending.push(a)
 		}
 	}
 	for _, r := range e.resources {
@@ -200,8 +401,8 @@ func (e *Engine) Run() (Result, error) {
 	}
 
 	completed := 0
-	for events.Len() > 0 {
-		ev := heap.Pop(&events).(completion)
+	for len(*events) > 0 {
+		ev := events.pop()
 		a := ev.act
 		now = ev.t
 		a.done = true
@@ -214,21 +415,22 @@ func (e *Engine) Run() (Result, error) {
 		if e.keepTrace {
 			e.trace = append(e.trace, TraceEntry{Resource: r.Name, Label: a.Label, Start: a.Start, End: a.End})
 		}
-		for _, s := range a.succs {
+		succs := e.succs(a)
+		for _, s := range succs {
 			s.npreds--
 			if a.End > s.ready {
 				s.ready = a.End
 				s.readyPred = a
 			}
 			if s.npreds == 0 {
-				heap.Push(&s.Res.pending, s)
+				s.Res.pending.push(s)
 			}
 		}
 		// The freed resource and any resources that gained ready work may
 		// start something. Trying all successors' resources plus r covers
 		// every resource whose pending set changed.
 		startOn(r)
-		for _, s := range a.succs {
+		for _, s := range succs {
 			startOn(s.Res)
 		}
 	}
@@ -237,12 +439,15 @@ func (e *Engine) Run() (Result, error) {
 		return Result{}, fmt.Errorf("simnet: deadlock, only %d of %d activities completed (dependency cycle?)",
 			completed, len(e.activities))
 	}
-	res := Result{Makespan: now, Utilization: make(map[string]float64, len(e.resources)), Trace: e.trace}
-	for _, r := range e.resources {
-		if now > 0 {
-			res.Utilization[r.Name] = r.busyTime / now
-		} else {
-			res.Utilization[r.Name] = 0
+	res := Result{Makespan: now, Trace: e.trace}
+	if !e.skipUtil {
+		res.Utilization = make(map[string]float64, len(e.resources))
+		for _, r := range e.resources {
+			if now > 0 {
+				res.Utilization[r.Name] = r.busyTime / now
+			} else {
+				res.Utilization[r.Name] = 0
+			}
 		}
 	}
 	return res, nil
