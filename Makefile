@@ -5,7 +5,7 @@ GO ?= go
 
 BENCH ?= Fig9$$|Fig10$$|Fig11$$|Fig12$$|SimEngine$$|SimBuild$$|SweepParallel$$
 
-.PHONY: build test race bench check
+.PHONY: build test race bench fault-smoke check
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel sweep engine fans simulations out over goroutines; these are
-# the packages that must stay clean under the race detector.
+# The parallel sweep engine fans simulations out over goroutines, and the
+# TCP transport + spawn launcher are concurrency-heavy; these are the
+# packages that must stay clean under the race detector.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/simnet
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/simnet ./internal/mp ./cmd/tilenode
 
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
 
-check: build test race
+# Degradation sweep at a fixed seed: exercises the whole fault-injection
+# path end to end and fails if degradation is not graceful.
+fault-smoke:
+	$(GO) run ./cmd/tilebench -quick -fault-seed 7 -fault-intensity 1 fault-sweep
+
+check: build test race fault-smoke

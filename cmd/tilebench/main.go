@@ -24,15 +24,17 @@ import (
 )
 
 var (
-	quick      = flag.Bool("quick", false, "shrink the spaces ~16x for fast runs")
-	csvOut     = flag.String("csv", "", "for fig9/fig10/fig11: also write the sweep as CSV to this file")
-	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
-	memProfile = flag.String("memprofile", "", "write a heap profile to this file after the runs")
+	quick          = flag.Bool("quick", false, "shrink the spaces ~16x for fast runs")
+	csvOut         = flag.String("csv", "", "for fig9/fig10/fig11: also write the sweep as CSV to this file")
+	cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile     = flag.String("memprofile", "", "write a heap profile to this file after the runs")
+	faultSeed      = flag.Uint64("fault-seed", 1, "for fault-sweep: fault-injection seed")
+	faultIntensity = flag.Float64("fault-intensity", 1.0, "for fault-sweep: maximum fault intensity (0..1)")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|all\n")
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -242,10 +244,50 @@ func run(id string) error {
 		fmt.Print(experiments.FormatStraggler(a, rows))
 		fmt.Println()
 		return nil
+	case "fault-sweep":
+		// Degrade the Fig. 9 space at its overlapped-optimal tile height:
+		// does the overlapped schedule keep its edge as the cluster sours?
+		base := shrink(experiments.Fig9())
+		base.Cache = sim.NewCache()
+		vOpt, _, err := base.Optimum(sim.Overlapped)
+		if err != nil {
+			return err
+		}
+		max := *faultIntensity
+		if max < 0 || max > 1 {
+			return fmt.Errorf("-fault-intensity %g out of range [0, 1]", max)
+		}
+		const steps = 6
+		intensities := make([]float64, 0, steps+1)
+		for i := 0; i <= steps; i++ {
+			intensities = append(intensities, max*float64(i)/steps)
+		}
+		fs := experiments.FaultSweep{
+			ID:          base.ID,
+			Grid:        base.Grid,
+			Machine:     base.Machine,
+			Cap:         base.Cap,
+			V:           vOpt,
+			Seed:        *faultSeed,
+			Intensities: intensities,
+			Cache:       base.Cache,
+		}
+		rows, err := fs.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFaultSweep(fs, rows))
+		if err := experiments.CheckDegradation(rows); err != nil {
+			fmt.Println("degradation check: NOT GRACEFUL")
+			return err
+		}
+		fmt.Println("degradation check: GRACEFUL")
+		fmt.Println()
+		return nil
 	case "verify":
 		return runVerify()
 	case "all":
-		for _, sub := range []string{"verify", "ex1", "fig9", "fig10", "fig11", "fig12", "ablation-cap", "ablation-map", "ablation-net", "ablation-straggler"} {
+		for _, sub := range []string{"verify", "ex1", "fig9", "fig10", "fig11", "fig12", "ablation-cap", "ablation-map", "ablation-net", "ablation-straggler", "fault-sweep"} {
 			if err := run(sub); err != nil {
 				return err
 			}

@@ -131,6 +131,84 @@ func rankMain(c mp.Comm, cfg runner.Config) error {
 	return nil
 }
 
+// spawnRun launches n ranks in-process, building each rank's communicator
+// with connect. The first rank to fail triggers a teardown of the others:
+// the cancel channel handed to connect is closed (aborting mesh-up still
+// in progress) and every live communicator is closed (unblocking ranks
+// stuck in Recv or Barrier). The launcher then reports the first failure
+// as a diagnostic instead of hanging; errors the teardown itself provokes
+// in surviving ranks are suppressed.
+func spawnRun(cfg runner.Config, n int,
+	connect func(rank int, cancel <-chan struct{}) (mp.Comm, error)) error {
+	type rankErr struct {
+		rank int
+		err  error
+	}
+	cancel := make(chan struct{})
+	var (
+		cancelOnce sync.Once
+		mu         sync.Mutex
+		comms      = make([]mp.Comm, n)
+	)
+	teardown := func() {
+		cancelOnce.Do(func() { close(cancel) })
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range comms {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+
+	errCh := make(chan rankErr, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := connect(rank, cancel)
+			if err != nil {
+				errCh <- rankErr{rank, err}
+				return
+			}
+			mu.Lock()
+			select {
+			case <-cancel: // teardown already ran; don't leak this comm
+				mu.Unlock()
+				c.Close()
+				return
+			default:
+				comms[rank] = c
+			}
+			mu.Unlock()
+			if err := rankMain(c, cfg); err != nil {
+				errCh <- rankErr{rank, err}
+			}
+		}(r)
+	}
+	go func() {
+		wg.Wait()
+		close(errCh)
+	}()
+
+	var first *rankErr
+	for re := range errCh {
+		if first == nil {
+			re := re
+			first = &re
+			teardown()
+		}
+		// Later errors are almost always fallout of the teardown
+		// (closed comms); only the first is diagnostic.
+	}
+	teardown() // release resources on the success path too
+	if first != nil {
+		return fmt.Errorf("rank %d failed: %w (remaining ranks torn down)", first.rank, first.err)
+	}
+	return nil
+}
+
 func run() error {
 	cfg, err := buildConfig()
 	if err != nil {
@@ -142,28 +220,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		errs := make([]error, n)
-		var wg sync.WaitGroup
-		for r := 0; r < n; r++ {
-			wg.Add(1)
-			go func(rank int) {
-				defer wg.Done()
-				c, err := mp.ConnectTCP(rank, n, addrs, nil)
-				if err != nil {
-					errs[rank] = err
-					return
-				}
-				defer c.Close()
-				errs[rank] = rankMain(c, cfg)
-			}(r)
-		}
-		wg.Wait()
-		for r, e := range errs {
-			if e != nil {
-				return fmt.Errorf("rank %d: %w", r, e)
-			}
-		}
-		return nil
+		return spawnRun(cfg, n, func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
+			return mp.ConnectTCP(rank, n, addrs, &mp.TCPOptions{Cancel: cancel})
+		})
 	}
 	if *rankFlag < 0 || *addrsFlag == "" {
 		return fmt.Errorf("need -spawn, or both -rank and -addrs")

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/mp"
+	"repro/internal/runner"
+	"repro/internal/stencil"
+)
+
+func testConfig() runner.Config {
+	return runner.Config{
+		Grid:   model.Grid3D{I: 4, J: 4, K: 32, PI: 2, PJ: 2},
+		V:      8,
+		Kernel: stencil.Sqrt3D{},
+		Mode:   runner.Overlapped,
+	}
+}
+
+// TestSpawnRunReportsFirstFailure: when one rank cannot connect, the
+// launcher must tear the others down and report the failing rank as a
+// diagnostic within the teardown budget — not hang while the survivors
+// wait out their full dial timeout on the missing rank.
+func TestSpawnRunReportsFirstFailure(t *testing.T) {
+	cfg := testConfig()
+	n := int(cfg.Grid.PI * cfg.Grid.PJ)
+	addrs, err := loopbackAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	connect := func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
+		if rank == 1 {
+			return nil, fmt.Errorf("injected connect failure")
+		}
+		return mp.ConnectTCP(rank, n, addrs,
+			&mp.TCPOptions{DialTimeout: 30 * time.Second, Cancel: cancel})
+	}
+	done := make(chan error, 1)
+	go func() { done <- spawnRun(cfg, n, connect) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("spawnRun succeeded with a rank that cannot connect")
+		}
+		if !strings.Contains(err.Error(), "rank 1") {
+			t.Errorf("diagnostic does not name the failed rank: %v", err)
+		}
+		if !strings.Contains(err.Error(), "injected connect failure") {
+			t.Errorf("diagnostic dropped the underlying cause: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("spawnRun hung instead of tearing down after a rank failure")
+	}
+}
+
+// TestSpawnRunDelayedRankSucceeds: a rank that comes up late must be
+// absorbed by the dial retry/backoff, and the whole spawn still succeeds
+// and verifies.
+func TestSpawnRunDelayedRankSucceeds(t *testing.T) {
+	cfg := testConfig()
+	n := int(cfg.Grid.PI * cfg.Grid.PJ)
+	addrs, err := loopbackAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	connect := func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
+		if rank == 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		return mp.ConnectTCP(rank, n, addrs,
+			&mp.TCPOptions{DialTimeout: 30 * time.Second, Cancel: cancel})
+	}
+	done := make(chan error, 1)
+	go func() { done <- spawnRun(cfg, n, connect) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("spawnRun with a late rank: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("spawnRun hung with a late-starting rank")
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// FaultSweep degrades one (grid, tile height) configuration under an
+// increasing fault intensity at a fixed seed: the same stragglers, lossy
+// links and pauses hit both schedules, only harder as intensity grows.
+// The row set answers the robustness question the fault model exists for:
+// does the overlapped schedule keep its advantage when the cluster
+// misbehaves, and how gracefully does each schedule degrade?
+type FaultSweep struct {
+	ID      string
+	Grid    model.Grid3D
+	Machine model.Machine
+	Cap     sim.Capability
+	// V is the tile height both schedules run at — typically each sweep's
+	// optimum, so degradation is measured from the best configuration.
+	V    int64
+	Seed uint64
+	// Intensities must be ascending; 0 reproduces the fault-free numbers.
+	Intensities []float64
+	// Cache optionally memoizes points across runs (keyed on the plan).
+	Cache *sim.Cache
+}
+
+// FaultRow is one intensity step of a degradation sweep.
+type FaultRow struct {
+	Intensity float64
+	Overlap   float64 // makespan, seconds
+	Blocking  float64
+	OverlapX  float64 // slowdown vs the fault-free makespan (1.0 = unharmed)
+	BlockingX float64
+}
+
+func (s FaultSweep) cache() *sim.Cache {
+	if s.Cache != nil {
+		return s.Cache
+	}
+	return sim.NewCache()
+}
+
+// modeCap mirrors Sweep.modeCap: blocking always burns the CPU for copies.
+func (s FaultSweep) modeCap(mode sim.Mode) sim.Capability {
+	if mode == sim.Blocking {
+		return sim.CapNone
+	}
+	return s.Cap
+}
+
+// faultPoint is one (plan, mode) simulation of the sweep.
+type faultPoint struct {
+	fp   fault.Plan
+	mode sim.Mode
+}
+
+// points lays out the simulations a sweep needs: the fault-free baseline
+// pair first, then an (overlapped, blocking) pair per intensity.
+func (s FaultSweep) points() []faultPoint {
+	pts := make([]faultPoint, 0, 2+2*len(s.Intensities))
+	pts = append(pts,
+		faultPoint{fault.Plan{}, sim.Overlapped},
+		faultPoint{fault.Plan{}, sim.Blocking})
+	for _, in := range s.Intensities {
+		fp := fault.Default(s.Seed, in)
+		pts = append(pts, faultPoint{fp, sim.Overlapped}, faultPoint{fp, sim.Blocking})
+	}
+	return pts
+}
+
+// rows assembles the row set from results laid out by points().
+func (s FaultSweep) rows(res []sim.Result) []FaultRow {
+	baseOv, baseBl := res[0].Makespan, res[1].Makespan
+	rows := make([]FaultRow, len(s.Intensities))
+	for i, in := range s.Intensities {
+		ov, bl := res[2+2*i].Makespan, res[3+2*i].Makespan
+		rows[i] = FaultRow{
+			Intensity: in,
+			Overlap:   ov, Blocking: bl,
+			OverlapX: ov / baseOv, BlockingX: bl / baseBl,
+		}
+	}
+	return rows
+}
+
+func (s FaultSweep) validate() error {
+	if s.V <= 0 {
+		return fmt.Errorf("experiments: fault sweep %s: non-positive tile height %d", s.ID, s.V)
+	}
+	if len(s.Intensities) == 0 {
+		return fmt.Errorf("experiments: fault sweep %s has no intensities", s.ID)
+	}
+	for i := 1; i < len(s.Intensities); i++ {
+		if s.Intensities[i] < s.Intensities[i-1] {
+			return fmt.Errorf("experiments: fault sweep %s: intensities not ascending at %d", s.ID, i)
+		}
+	}
+	return nil
+}
+
+// Run evaluates the sweep on a bounded worker pool, like Sweep.Run. The
+// fault model is stateless in simulation order, so the rows are identical
+// to RunSequential's regardless of worker scheduling.
+func (s FaultSweep) Run() ([]FaultRow, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	c := s.cache()
+	pts := s.points()
+	res := make([]sim.Result, len(pts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				p := pts[i]
+				r, err := c.SimulateGridFault(s.Grid, s.V, s.Machine, p.mode, s.modeCap(p.mode), sim.Switched, p.fp)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("%s: intensity %g %s: %w", s.ID, p.fp.Intensity, p.mode, err)
+						cancel()
+					})
+					return
+				}
+				res[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range pts {
+		select {
+		case tasks <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s.rows(res), nil
+}
+
+// RunSequential is the retained sequential reference: one direct
+// simulation after another, no pool, no cache. The replayability test
+// checks Run against it row for row.
+func (s FaultSweep) RunSequential() ([]FaultRow, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	pts := s.points()
+	res := make([]sim.Result, len(pts))
+	for i, p := range pts {
+		r, err := sim.SimulateGridFault(s.Grid, s.V, s.Machine, p.mode, s.modeCap(p.mode), sim.Switched, p.fp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: intensity %g %s: %w", s.ID, p.fp.Intensity, p.mode, err)
+		}
+		res[i] = r
+	}
+	return s.rows(res), nil
+}
+
+// CheckDegradation asserts graceful degradation on a completed sweep: no
+// intensity step may repair a schedule (makespans monotonically
+// non-decreasing in intensity, and never below the fault-free baseline).
+// The fault model is built so per-activity durations are monotone in
+// intensity at a fixed seed, which is what makes this assertable at all.
+func CheckDegradation(rows []FaultRow) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: empty degradation sweep")
+	}
+	for i, r := range rows {
+		if r.OverlapX < 1 || r.BlockingX < 1 {
+			return fmt.Errorf("experiments: intensity %g beats the fault-free baseline (overlap ×%.6f, blocking ×%.6f)",
+				r.Intensity, r.OverlapX, r.BlockingX)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := rows[i-1]
+		if r.Overlap < prev.Overlap {
+			return fmt.Errorf("experiments: overlapped makespan improves from %g to %g as intensity rises %g→%g",
+				prev.Overlap, r.Overlap, prev.Intensity, r.Intensity)
+		}
+		if r.Blocking < prev.Blocking {
+			return fmt.Errorf("experiments: blocking makespan improves from %g to %g as intensity rises %g→%g",
+				prev.Blocking, r.Blocking, prev.Intensity, r.Intensity)
+		}
+	}
+	return nil
+}
+
+// FormatFaultSweep renders the degradation sweep as an aligned text table.
+func FormatFaultSweep(s FaultSweep, rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degradation sweep %s: %dx%dx%d on %dx%d, V=%d, seed=%d\n",
+		s.ID, s.Grid.I, s.Grid.J, s.Grid.K, s.Grid.PI, s.Grid.PJ, s.V, s.Seed)
+	fmt.Fprintf(&b, "%10s %14s %14s %10s %10s\n",
+		"intensity", "overlap(s)", "blocking(s)", "overlap×", "blocking×")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.2f %14.6f %14.6f %9.3f× %9.3f×\n",
+			r.Intensity, r.Overlap, r.Blocking, r.OverlapX, r.BlockingX)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func smallFaultSweep() FaultSweep {
+	return FaultSweep{
+		ID:          "fault-test",
+		Grid:        model.Grid3D{I: 8, J: 8, K: 512, PI: 2, PJ: 2},
+		Machine:     model.PentiumCluster(),
+		Cap:         sim.CapDMA,
+		V:           64,
+		Seed:        7,
+		Intensities: []float64{0, 0.25, 0.5, 1},
+	}
+}
+
+// TestFaultSweepReplayable: the same (seed, intensities) must give
+// bit-identical rows across fresh parallel runs and against the sequential
+// reference — the stateless fault model makes worker scheduling invisible.
+func TestFaultSweepReplayable(t *testing.T) {
+	s := smallFaultSweep()
+	a, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s.RunSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != len(seq) {
+		t.Fatalf("row counts diverge: %d, %d, %d", len(a), len(b), len(seq))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d diverges across parallel runs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i] != seq[i] {
+			t.Errorf("row %d diverges from the sequential reference: %+v vs %+v", i, a[i], seq[i])
+		}
+	}
+}
+
+// TestFaultSweepDegrades: at a fixed seed, both schedules must degrade
+// monotonically with intensity.
+func TestFaultSweepDegrades(t *testing.T) {
+	s := smallFaultSweep()
+	rows, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDegradation(rows); err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	if last.OverlapX <= 1 || last.BlockingX <= 1 {
+		t.Errorf("full intensity left a schedule unharmed: overlap ×%f, blocking ×%f",
+			last.OverlapX, last.BlockingX)
+	}
+}
+
+// TestFaultSweepZeroIntensityMatchesBaseline: the intensity-0 row must be
+// exactly the fault-free numbers (slowdown exactly 1.0).
+func TestFaultSweepZeroIntensityMatchesBaseline(t *testing.T) {
+	s := smallFaultSweep()
+	rows, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := rows[0]
+	if r0.Intensity != 0 {
+		t.Fatalf("first row is not the zero-intensity row: %+v", r0)
+	}
+	if r0.OverlapX != 1 || r0.BlockingX != 1 {
+		t.Errorf("zero intensity perturbed the run: overlap ×%v, blocking ×%v", r0.OverlapX, r0.BlockingX)
+	}
+	ov, err := sim.SimulateGrid(s.Grid, s.V, s.Machine, sim.Overlapped, s.Cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := sim.SimulateGrid(s.Grid, s.V, s.Machine, sim.Blocking, sim.CapNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Overlap != ov.Makespan || r0.Blocking != bl.Makespan {
+		t.Errorf("zero-intensity row (%g, %g) differs from the plain simulation (%g, %g)",
+			r0.Overlap, r0.Blocking, ov.Makespan, bl.Makespan)
+	}
+}
+
+// TestFaultSweepValidation: malformed sweeps are rejected up front.
+func TestFaultSweepValidation(t *testing.T) {
+	s := smallFaultSweep()
+	s.Intensities = []float64{0.5, 0.25}
+	if _, err := s.Run(); err == nil {
+		t.Error("descending intensities accepted")
+	}
+	s = smallFaultSweep()
+	s.Intensities = nil
+	if _, err := s.Run(); err == nil {
+		t.Error("empty intensity list accepted")
+	}
+	s = smallFaultSweep()
+	s.V = 0
+	if _, err := s.Run(); err == nil {
+		t.Error("zero tile height accepted")
+	}
+}
+
+// TestCheckDegradationRejects: the checker actually fires on a repair.
+func TestCheckDegradationRejects(t *testing.T) {
+	good := []FaultRow{
+		{Intensity: 0, Overlap: 1, Blocking: 2, OverlapX: 1, BlockingX: 1},
+		{Intensity: 1, Overlap: 1.5, Blocking: 3, OverlapX: 1.5, BlockingX: 1.5},
+	}
+	if err := CheckDegradation(good); err != nil {
+		t.Errorf("monotone rows rejected: %v", err)
+	}
+	bad := []FaultRow{
+		{Intensity: 0, Overlap: 1, Blocking: 2, OverlapX: 1, BlockingX: 1},
+		{Intensity: 1, Overlap: 0.9, Blocking: 3, OverlapX: 0.9, BlockingX: 1.5},
+	}
+	if err := CheckDegradation(bad); err == nil {
+		t.Error("an intensity step that repairs the overlapped schedule passed")
+	}
+	if err := CheckDegradation(nil); err == nil {
+		t.Error("empty sweep passed")
+	}
+}

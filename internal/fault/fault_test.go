@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroPlanIsInert(t *testing.T) {
+	var p Plan
+	if p.Active() {
+		t.Error("zero plan reports Active")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero plan invalid: %v", err)
+	}
+	if f := p.CPUFactor(3); f != 1 {
+		t.Errorf("CPUFactor = %g, want 1", f)
+	}
+	if f := p.LinkFactor(3); f != 1 {
+		t.Errorf("LinkFactor = %g, want 1", f)
+	}
+	if f := p.WireFactor(1, 2, 0); f != 1 {
+		t.Errorf("WireFactor = %g, want 1", f)
+	}
+	if n := p.Resends(1, 2); n != 0 {
+		t.Errorf("Resends = %d, want 0", n)
+	}
+	if d := p.Pause(0, 0); d != 0 {
+		t.Errorf("Pause = %g, want 0", d)
+	}
+}
+
+func TestZeroIntensityIsInert(t *testing.T) {
+	p := Default(42, 0)
+	if p.Active() {
+		t.Error("zero-intensity plan reports Active")
+	}
+	for proc := int64(0); proc < 8; proc++ {
+		if f := p.CPUFactor(proc); f != 1 {
+			t.Errorf("CPUFactor(%d) = %g, want 1", proc, f)
+		}
+		if n := p.Resends(proc, proc+1); n != 0 {
+			t.Errorf("Resends = %d, want 0", n)
+		}
+		if d := p.Pause(proc, 0); d != 0 {
+			t.Errorf("Pause = %g, want 0", d)
+		}
+	}
+}
+
+// TestReplayable checks that two identical plans produce bit-identical
+// decisions, and that the decisions do not depend on evaluation order —
+// the property that makes parallel sweeps reproducible.
+func TestReplayable(t *testing.T) {
+	a := Default(7, 0.6)
+	b := Default(7, 0.6)
+	// Evaluate in opposite orders.
+	n := int64(64)
+	fwd := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		fwd[i] = a.CPUFactor(i) + a.LinkFactor(i) + float64(a.Resends(i, i+1)) +
+			a.WireFactor(i, i+1, 2) + a.Pause(i, i%5)
+	}
+	for i := n - 1; i >= 0; i-- {
+		got := b.CPUFactor(i) + b.LinkFactor(i) + float64(b.Resends(i, i+1)) +
+			b.WireFactor(i, i+1, 2) + b.Pause(i, i%5)
+		if got != fwd[i] {
+			t.Fatalf("id %d: reverse-order evaluation %v != forward %v", i, got, fwd[i])
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := Default(1, 1), Default(2, 1)
+	same := 0
+	for i := int64(0); i < 32; i++ {
+		if a.CPUFactor(i) == b.CPUFactor(i) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 agree on %d/32 CPU factors", same)
+	}
+}
+
+func TestFactorRanges(t *testing.T) {
+	p := Default(11, 1)
+	for i := int64(0); i < 256; i++ {
+		if f := p.CPUFactor(i); f < 1 || f >= 1+p.CPUStraggle {
+			t.Fatalf("CPUFactor(%d) = %g out of [1, %g)", i, f, 1+p.CPUStraggle)
+		}
+		if f := p.LinkFactor(i); f < 1 || f >= 1+p.LinkSlowdown {
+			t.Fatalf("LinkFactor(%d) = %g out of range", i, f)
+		}
+		if n := p.Resends(i, i+1); n < 0 || n > p.MaxResend {
+			t.Fatalf("Resends = %d out of [0, %d]", n, p.MaxResend)
+		}
+		if d := p.Pause(i, 0); d < 0 || d > p.Intensity*p.PauseMean*1.5 {
+			t.Fatalf("Pause = %g out of range", d)
+		}
+	}
+}
+
+// TestMonotoneInIntensity checks that every perturbation grows (weakly)
+// with intensity for a fixed seed — the property underpinning the
+// degradation sweep's monotone makespans.
+func TestMonotoneInIntensity(t *testing.T) {
+	intensities := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+	for id := int64(0); id < 64; id++ {
+		prevCPU, prevRes, prevPause := 0.0, -1, -1.0
+		for _, in := range intensities {
+			p := Default(99, in)
+			if f := p.CPUFactor(id); f < prevCPU {
+				t.Fatalf("CPUFactor(%d) decreased at intensity %g: %g < %g", id, in, f, prevCPU)
+			} else {
+				prevCPU = f
+			}
+			if n := p.Resends(id, id+1); n < prevRes {
+				t.Fatalf("Resends(%d) decreased at intensity %g: %d < %d", id, in, n, prevRes)
+			} else {
+				prevRes = n
+			}
+			if d := p.Pause(id, 3); d < prevPause {
+				t.Fatalf("Pause(%d) decreased at intensity %g: %g < %g", id, in, d, prevPause)
+			} else {
+				prevPause = d
+			}
+		}
+	}
+}
+
+func TestRetryDelayBackoff(t *testing.T) {
+	p := Default(1, 1)
+	wire := 1e-3
+	d0 := p.RetryDelay(wire, 0)
+	if want := p.TimeoutWire * wire; d0 != want {
+		t.Errorf("RetryDelay(0) = %g, want %g", d0, want)
+	}
+	for a := 1; a < 4; a++ {
+		if got, want := p.RetryDelay(wire, a), p.RetryDelay(wire, a-1)*p.BackoffFactor; math.Abs(got-want) > 1e-18 {
+			t.Errorf("RetryDelay(%d) = %g, want %g", a, got, want)
+		}
+	}
+	// BackoffFactor 0 degrades to a constant timeout.
+	p.BackoffFactor = 0
+	if p.RetryDelay(wire, 3) != p.RetryDelay(wire, 0) {
+		t.Error("BackoffFactor 0 should mean constant timeout")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Plan)
+	}{
+		{"negative intensity", func(p *Plan) { p.Intensity = -0.1 }},
+		{"intensity above 1", func(p *Plan) { p.Intensity = 1.5 }},
+		{"NaN jitter", func(p *Plan) { p.WireJitter = math.NaN() }},
+		{"negative loss", func(p *Plan) { p.LossProb = -1 }},
+		{"certain loss", func(p *Plan) { p.Intensity = 1; p.LossProb = 1 }},
+		{"negative resend cap", func(p *Plan) { p.MaxResend = -1 }},
+		{"fractional backoff", func(p *Plan) { p.BackoffFactor = 0.5 }},
+		{"negative pause", func(p *Plan) { p.PauseMean = -1e-6 }},
+	}
+	for _, tc := range cases {
+		p := Default(1, 0.5)
+		tc.mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+		}
+	}
+	if err := Default(123, 1).Validate(); err != nil {
+		t.Errorf("Default plan invalid: %v", err)
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	for i := int64(0); i < 1000; i++ {
+		u := Unit(5, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Unit out of [0,1): %g", u)
+		}
+	}
+	if Unit(5, 1, 2) == Unit(5, 2, 1) {
+		t.Error("Unit should be order-sensitive in its ids")
+	}
+}

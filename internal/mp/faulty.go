@@ -1,0 +1,129 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// ErrInjected is the error returned by operations a FaultyComm decided to
+// fail — a stand-in for a connection reset by a dead peer.
+var ErrInjected = errors.New("mp: injected fault (connection reset)")
+
+// Fault-decision streams, kept disjoint per purpose like fault.Plan's.
+const (
+	faultyStreamDrop int64 = 1 + iota
+	faultyStreamDelay
+	faultyStreamDelayDur
+)
+
+// FaultyComm wraps a Comm and deterministically injects communication
+// faults: per-operation delivery delays, silently dropped sends, and
+// injected connection-reset errors after a chosen operation count. It has
+// the same drop-in shape as CountingComm and exists so robustness of code
+// built on mp (runner, tilenode) is testable without real packet loss.
+//
+// Decisions derive from fault.Unit hashes of (Seed, rank, operation index):
+// the same seed and call sequence replays the same fault pattern. Delays
+// are real wall-clock sleeps (this layer runs real code, not the
+// simulator), so only their selection — not their precise timing — is
+// deterministic.
+type FaultyComm struct {
+	Comm
+	// Seed selects the fault pattern.
+	Seed uint64
+	// DelayProb is the probability an operation is delayed; Delay is the
+	// maximum injected delay.
+	DelayProb float64
+	Delay     time.Duration
+	// DropProb is the probability a Send/Isend is silently dropped: the
+	// call reports success, the receiver never sees the message. Only for
+	// tests that expect to time out or count deliveries — a dropped
+	// message deadlocks a peer blocked in Recv.
+	DropProb float64
+	// ResetAfter, when positive, fails every operation past the first
+	// ResetAfter with ErrInjected — a rank dying mid-run.
+	ResetAfter int64
+
+	ops atomic.Int64
+}
+
+// WithFaults wraps c with a fault injector.
+func WithFaults(c Comm, seed uint64) *FaultyComm {
+	return &FaultyComm{Comm: c, Seed: seed}
+}
+
+// next advances the operation counter and applies the reset and delay
+// decisions shared by every operation type.
+func (f *FaultyComm) next() (idx int64, err error) {
+	idx = f.ops.Add(1)
+	if f.ResetAfter > 0 && idx > f.ResetAfter {
+		return idx, fmt.Errorf("%w after %d ops", ErrInjected, f.ResetAfter)
+	}
+	if f.DelayProb > 0 && f.Delay > 0 &&
+		fault.Unit(f.Seed, faultyStreamDelay, int64(f.Rank()), idx) < f.DelayProb {
+		u := fault.Unit(f.Seed, faultyStreamDelayDur, int64(f.Rank()), idx)
+		time.Sleep(time.Duration(u * float64(f.Delay)))
+	}
+	return idx, nil
+}
+
+// dropped decides whether send operation idx is lost.
+func (f *FaultyComm) dropped(idx int64) bool {
+	return f.DropProb > 0 &&
+		fault.Unit(f.Seed, faultyStreamDrop, int64(f.Rank()), idx) < f.DropProb
+}
+
+// Ops returns how many operations passed through the injector.
+func (f *FaultyComm) Ops() int64 { return f.ops.Load() }
+
+// Send implements Comm.
+func (f *FaultyComm) Send(dst, tag int, data []byte) error {
+	idx, err := f.next()
+	if err != nil {
+		return err
+	}
+	if f.dropped(idx) {
+		return nil
+	}
+	return f.Comm.Send(dst, tag, data)
+}
+
+// Isend implements Comm.
+func (f *FaultyComm) Isend(dst, tag int, data []byte) (Request, error) {
+	idx, err := f.next()
+	if err != nil {
+		return nil, err
+	}
+	if f.dropped(idx) {
+		return sendReq{}, nil // completes immediately; the bytes evaporate
+	}
+	return f.Comm.Isend(dst, tag, data)
+}
+
+// Recv implements Comm.
+func (f *FaultyComm) Recv(src, tag int, buf []byte) (Status, error) {
+	if _, err := f.next(); err != nil {
+		return Status{}, err
+	}
+	return f.Comm.Recv(src, tag, buf)
+}
+
+// Irecv implements Comm.
+func (f *FaultyComm) Irecv(src, tag int, buf []byte) (Request, error) {
+	if _, err := f.next(); err != nil {
+		return nil, err
+	}
+	return f.Comm.Irecv(src, tag, buf)
+}
+
+// Barrier implements Comm.
+func (f *FaultyComm) Barrier() error {
+	if _, err := f.next(); err != nil {
+		return err
+	}
+	return f.Comm.Barrier()
+}

@@ -1,0 +1,154 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFaultyDropsAreSilent: dropped sends report success but never reach
+// the transport (counted beneath the injector).
+func TestFaultyDropsAreSilent(t *testing.T) {
+	err := Launch(2, func(c Comm) error {
+		if c.Rank() != 0 {
+			return nil // never receives: rank 0's sends are all dropped
+		}
+		counted := WithCounters(c)
+		f := WithFaults(counted, 1)
+		f.DropProb = 1
+		for i := 0; i < 5; i++ {
+			if err := f.Send(1, 1, []byte{byte(i)}); err != nil {
+				return fmt.Errorf("dropped send errored: %w", err)
+			}
+			req, err := f.Isend(1, 1, []byte{byte(i)})
+			if err != nil {
+				return fmt.Errorf("dropped isend errored: %w", err)
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+		}
+		if n := counted.C.SendMsgs.Load(); n != 0 {
+			return fmt.Errorf("%d messages leaked past DropProb=1", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultyResetAfter: operations past the budget fail with ErrInjected,
+// and the failure is reported, not hung.
+func TestFaultyResetAfter(t *testing.T) {
+	err := Launch(1, func(c Comm) error {
+		f := WithFaults(c, 2)
+		f.ResetAfter = 3
+		for i := 0; i < 3; i++ {
+			if err := f.Send(0, 1, []byte{1}); err != nil {
+				return fmt.Errorf("op %d failed before the budget: %w", i, err)
+			}
+			buf := make([]byte, 1)
+			// Receives burn ops too: budget 3 = 3 sends, so drain with the
+			// underlying comm.
+			if _, err := c.Recv(0, 1, buf); err != nil {
+				return err
+			}
+		}
+		if err := f.Send(0, 1, []byte{1}); !errors.Is(err, ErrInjected) {
+			return fmt.Errorf("post-budget send: got %v, want ErrInjected", err)
+		}
+		if _, err := f.Irecv(0, 1, make([]byte, 1)); !errors.Is(err, ErrInjected) {
+			return fmt.Errorf("post-budget irecv: got %v, want ErrInjected", err)
+		}
+		if err := f.Barrier(); !errors.Is(err, ErrInjected) {
+			return fmt.Errorf("post-budget barrier: got %v, want ErrInjected", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultyDropPatternReplayable: the same seed reproduces the same
+// drop pattern; a different seed gives a different one.
+func TestFaultyDropPatternReplayable(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		var out []bool
+		err := Launch(1, func(c Comm) error {
+			counted := WithCounters(c)
+			f := WithFaults(counted, seed)
+			f.DropProb = 0.5
+			buf := make([]byte, 1)
+			for i := 0; i < 32; i++ {
+				before := counted.C.SendMsgs.Load()
+				if err := f.Send(0, 1, []byte{1}); err != nil {
+					return err
+				}
+				delivered := counted.C.SendMsgs.Load() > before
+				out = append(out, delivered)
+				if delivered {
+					if _, err := c.Recv(0, 1, buf); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	cDiff := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != cDiff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical 32-op drop patterns")
+	}
+}
+
+// TestFaultyDelayStillDelivers: delays slow messages down but nothing is
+// lost or corrupted.
+func TestFaultyDelayStillDelivers(t *testing.T) {
+	const n = 20
+	err := Launch(2, func(c Comm) error {
+		f := WithFaults(c, 3)
+		f.DelayProb = 0.5
+		f.Delay = time.Millisecond
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := f.Send(1, 1, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < n; i++ {
+			if _, err := f.Recv(0, 1, buf); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("message %d corrupted or reordered: got %d", i, buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Internal control tags used by the TCP transport; user tags are >= 0.
@@ -18,14 +20,50 @@ const (
 // TCPOptions tunes ConnectTCP.
 type TCPOptions struct {
 	// DialTimeout bounds how long a rank retries connecting to its peers
-	// while the mesh comes up. Default 10s.
+	// while the mesh comes up; it also bounds each handshake read/write.
+	// Default 10s.
 	DialTimeout time.Duration
+	// DialBackoff is the initial retry backoff after a failed dial; it
+	// doubles per attempt up to a 500ms cap, with ±25% deterministic
+	// jitter so a cluster of late dialers doesn't stampede the listener.
+	// Default 10ms.
+	DialBackoff time.Duration
+	// IOTimeout, when positive, bounds every post-handshake frame write;
+	// a peer that stops draining its socket then fails the writer instead
+	// of wedging it forever. Reads stay unbounded (an idle rank
+	// legitimately waits arbitrarily long for the next message).
+	IOTimeout time.Duration
+	// Cancel, when non-nil, aborts a ConnectTCP still meshing up as soon
+	// as the channel is closed: the listener and any half-built
+	// connections are torn down and ConnectTCP returns an error. This is
+	// how a launcher stops surviving ranks from waiting out the full dial
+	// timeout for a rank that already failed.
+	Cancel <-chan struct{}
+}
+
+const (
+	defaultDialTimeout = 10 * time.Second
+	defaultDialBackoff = 10 * time.Millisecond
+	maxDialBackoff     = 500 * time.Millisecond
+)
+
+// tuneConn applies socket options to a mesh connection: TCP_NODELAY
+// explicitly on (the transport writes whole frames and latency matters;
+// Nagle coalescing only delays the tail of a frame).
+func tuneConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 }
 
 // ConnectTCP joins rank `rank` of a `size`-rank communicator meshed over
 // TCP. addrs[i] must be the listen address ("host:port") of rank i; every
 // rank must use the same list. Rank i accepts connections from all higher
 // ranks and dials all lower ranks, forming a full mesh.
+//
+// Failures during mesh-up tear the endpoint down completely: the listener
+// and every connection accepted or dialed so far are closed before the
+// error is returned, so a failed handshake leaks nothing.
 func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mp: world size must be positive, got %d", size)
@@ -36,9 +74,13 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 	if len(addrs) != size {
 		return nil, fmt.Errorf("mp: got %d addresses for %d ranks", len(addrs), size)
 	}
-	timeout := 10 * time.Second
+	timeout := defaultDialTimeout
 	if opts != nil && opts.DialTimeout > 0 {
 		timeout = opts.DialTimeout
+	}
+	backoff0 := defaultDialBackoff
+	if opts != nil && opts.DialBackoff > 0 {
+		backoff0 = opts.DialBackoff
 	}
 
 	c := &tcpComm{
@@ -46,6 +88,9 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 		size:  size,
 		conns: make([]*peerConn, size),
 		box:   &mailbox{},
+	}
+	if opts != nil {
+		c.ioTimeout = opts.IOTimeout
 	}
 	c.barCond = sync.NewCond(&c.barMu)
 
@@ -55,29 +100,71 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 	}
 	c.listener = ln
 
+	// Mesh-up failure machinery: the first error (or an external cancel)
+	// closes `abort` and the listener, which unblocks the accept loop and
+	// stops the dialers; the error path then closes every connection
+	// registered so far via c.Close().
+	var (
+		wg        sync.WaitGroup
+		abortOnce sync.Once
+	)
+	errCh := make(chan error, size+1)
+	abort := make(chan struct{})
+	fail := func(err error) {
+		errCh <- err
+		abortOnce.Do(func() {
+			close(abort)
+			ln.Close()
+		})
+	}
+	meshDone := make(chan struct{})
+	if opts != nil && opts.Cancel != nil {
+		cancel := opts.Cancel
+		go func() {
+			select {
+			case <-cancel:
+				fail(fmt.Errorf("mp: rank %d: connect canceled", rank))
+			case <-meshDone:
+			case <-abort:
+			}
+		}()
+	}
+
 	// Accept from higher ranks and dial lower ranks concurrently.
-	var wg sync.WaitGroup
-	errCh := make(chan error, size)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := rank + 1; i < size; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				errCh <- fmt.Errorf("mp: rank %d accept: %w", rank, err)
+				select {
+				case <-abort: // tear-down in progress; not a new failure
+				default:
+					fail(fmt.Errorf("mp: rank %d accept: %w", rank, err))
+				}
 				return
 			}
+			tuneConn(conn)
+			// The handshake must arrive within the dial budget; a
+			// connected-but-mute peer must not wedge the mesh forever.
+			conn.SetReadDeadline(time.Now().Add(timeout))
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
-				errCh <- fmt.Errorf("mp: rank %d handshake read: %w", rank, err)
+				conn.Close()
+				fail(fmt.Errorf("mp: rank %d handshake read: %w", rank, err))
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			peer := int(int32(binary.BigEndian.Uint32(hello[:])))
 			if err := checkRank(peer, size, "peer"); err != nil {
-				errCh <- err
+				conn.Close()
+				fail(err)
 				return
 			}
-			c.setConn(peer, conn)
+			if err := c.setConn(peer, conn); err != nil {
+				fail(err)
+				return
+			}
 		}
 	}()
 	for i := 0; i < rank; i++ {
@@ -85,29 +172,54 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 		go func(peer int) {
 			defer wg.Done()
 			deadline := time.Now().Add(timeout)
+			backoff := backoff0
 			var conn net.Conn
 			var err error
-			for {
+			for attempt := int64(0); ; attempt++ {
+				select {
+				case <-abort:
+					return
+				default:
+				}
 				conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
 				if err == nil {
 					break
 				}
 				if time.Now().After(deadline) {
-					errCh <- fmt.Errorf("mp: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
+					fail(fmt.Errorf("mp: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
 					return
 				}
-				time.Sleep(20 * time.Millisecond)
+				// Capped exponential backoff with deterministic ±25% jitter
+				// keyed on (rank, peer, attempt).
+				u := fault.Unit(uint64(rank)+1, int64(peer), attempt)
+				sleep := time.Duration(float64(backoff) * (0.75 + 0.5*u))
+				select {
+				case <-abort:
+					return
+				case <-time.After(sleep):
+				}
+				if backoff *= 2; backoff > maxDialBackoff {
+					backoff = maxDialBackoff
+				}
 			}
+			tuneConn(conn)
+			conn.SetWriteDeadline(time.Now().Add(timeout))
 			var hello [4]byte
 			binary.BigEndian.PutUint32(hello[:], uint32(int32(rank)))
 			if _, err := conn.Write(hello[:]); err != nil {
-				errCh <- fmt.Errorf("mp: rank %d handshake write: %w", rank, err)
+				conn.Close()
+				fail(fmt.Errorf("mp: rank %d handshake write: %w", rank, err))
 				return
 			}
-			c.setConn(peer, conn)
+			conn.SetWriteDeadline(time.Time{})
+			if err := c.setConn(peer, conn); err != nil {
+				fail(err)
+				return
+			}
 		}(i)
 	}
 	wg.Wait()
+	close(meshDone)
 	select {
 	case err := <-errCh:
 		c.Close()
@@ -137,6 +249,7 @@ type tcpComm struct {
 	conns      []*peerConn
 	box        *mailbox
 	readers    sync.WaitGroup
+	ioTimeout  time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -148,10 +261,22 @@ type tcpComm struct {
 	barGen     int
 }
 
-func (c *tcpComm) setConn(peer int, conn net.Conn) {
+// setConn registers a completed handshake. A duplicate claim for the same
+// rank or a comm already torn down closes the connection instead of
+// leaking it.
+func (c *tcpComm) setConn(peer int, conn net.Conn) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return ErrClosed
+	}
+	if c.conns[peer] != nil {
+		conn.Close()
+		return fmt.Errorf("mp: rank %d: duplicate connection claiming rank %d", c.rank, peer)
+	}
 	c.conns[peer] = &peerConn{conn: conn}
+	return nil
 }
 
 func (c *tcpComm) Rank() int { return c.rank }
@@ -175,6 +300,10 @@ func (c *tcpComm) writeFrame(dst, tag int, data []byte) error {
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(int32(len(data))))
 	pc.wmu.Lock()
 	defer pc.wmu.Unlock()
+	if c.ioTimeout > 0 {
+		pc.conn.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+		defer pc.conn.SetWriteDeadline(time.Time{})
+	}
 	if _, err := pc.conn.Write(hdr[:]); err != nil {
 		return err
 	}

@@ -2,10 +2,15 @@ package mp
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"os"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // freeAddrs reserves n distinct loopback ports by listening and closing.
@@ -174,6 +179,144 @@ func TestTCPOrdering(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTCPBadHandshakeNoLeak: a peer whose hello claims an out-of-range
+// rank must fail ConnectTCP, and the failure must close both the listener
+// and the accepted connection — nothing leaks, nothing hangs.
+func TestTCPBadHandshakeNoLeak(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		c, err := ConnectTCP(0, 2, addrs, &TCPOptions{DialTimeout: 5 * time.Second})
+		if err == nil {
+			c.Close()
+		}
+		done <- err
+	}()
+
+	// Pose as the missing rank 1, but claim an impossible rank in the hello.
+	var conn net.Conn
+	var err error
+	for i := 0; i < 200; i++ {
+		conn, err = net.DialTimeout("tcp", addrs[0], time.Second)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("could not reach rank 0 listener: %v", err)
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(int32(7))) // size is 2
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ConnectTCP accepted an out-of-range peer rank")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ConnectTCP hung after bad handshake")
+	}
+	// The listener must be gone: a fresh dial may be refused outright or
+	// accepted by the kernel backlog and then closed — either way no new
+	// handshake is served.
+	if c2, err := net.DialTimeout("tcp", addrs[0], time.Second); err == nil {
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c2.Read(make([]byte, 1)); err == nil {
+			t.Error("listener still serving after failed handshake")
+		}
+		c2.Close()
+	}
+	// The accepted connection must have been closed server-side: the read
+	// returns EOF/reset rather than blocking until the deadline.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("bad-handshake connection left open (read err: %v)", err)
+	}
+	conn.Close()
+}
+
+// TestTCPLateRankRecovery: the exponential-backoff dial loop must ride out
+// a peer that starts listening well after the dialer.
+func TestTCPLateRankRecovery(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opts := &TCPOptions{DialTimeout: 10 * time.Second, DialBackoff: 5 * time.Millisecond}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	run := func(rank int, delay time.Duration) {
+		defer wg.Done()
+		time.Sleep(delay)
+		c, err := ConnectTCP(rank, 2, addrs, opts)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		defer c.Close()
+		if rank == 1 {
+			errs[rank] = c.Send(0, 1, []byte("late"))
+			return
+		}
+		buf := make([]byte, 8)
+		st, err := c.Recv(1, 1, buf)
+		if err == nil && string(buf[:st.Bytes]) != "late" {
+			err = fmt.Errorf("got %q", buf[:st.Bytes])
+		}
+		errs[rank] = err
+	}
+	wg.Add(2)
+	go run(1, 0)                    // dialer starts immediately
+	go run(0, 300*time.Millisecond) // listener shows up late
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+// TestTCPConnectCancel: closing the Cancel channel must abort a mesh-up
+// promptly — both a rank blocked in Accept and one stuck redialing —
+// instead of letting it wait out the full dial timeout.
+func TestTCPConnectCancel(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rank int // rank 0 of 2 blocks accepting; rank 1 blocks dialing
+	}{
+		{"accepting", 0},
+		{"dialing", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			addrs := freeAddrs(t, 2)
+			cancel := make(chan struct{})
+			done := make(chan error, 1)
+			go func() {
+				c, err := ConnectTCP(tc.rank, 2, addrs,
+					&TCPOptions{DialTimeout: 30 * time.Second, Cancel: cancel})
+				if err == nil {
+					c.Close()
+				}
+				done <- err
+			}()
+			time.Sleep(50 * time.Millisecond)
+			close(cancel)
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("canceled ConnectTCP reported success")
+				}
+				if !strings.Contains(err.Error(), "cancel") {
+					t.Errorf("error does not mention cancellation: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("ConnectTCP ignored Cancel and hung")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/mp"
+	"repro/internal/stencil"
+)
+
+// TestRunUnderDelayFaults: injected message delays (mp.FaultyComm) slow
+// the real execution down but must never change the computed grid — the
+// runner's correctness depends only on message ordering, which the
+// injector preserves.
+func TestRunUnderDelayFaults(t *testing.T) {
+	cfg := Config{
+		Grid:   model.Grid3D{I: 4, J: 4, K: 32, PI: 2, PJ: 2},
+		V:      8,
+		Kernel: stencil.Sqrt3D{},
+		Mode:   Overlapped,
+	}
+	err := mp.Launch(4, func(c mp.Comm) error {
+		f := mp.WithFaults(c, 11)
+		f.DelayProb = 0.5
+		f.Delay = time.Millisecond
+		local, _, err := Run(f, cfg)
+		if err != nil {
+			return err
+		}
+		grid, err := Gather(f, cfg, local)
+		if err != nil {
+			return err
+		}
+		if f.Rank() != 0 {
+			return nil
+		}
+		if f.Ops() == 0 {
+			return fmt.Errorf("no operations passed through the injector")
+		}
+		diff, err := VerifySequential(grid, cfg)
+		if err != nil {
+			return err
+		}
+		if diff != 0 {
+			return fmt.Errorf("delay faults corrupted the result: max diff %g", diff)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

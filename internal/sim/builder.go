@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ilmath"
 	"repro/internal/simnet"
 )
@@ -22,6 +23,9 @@ type builder struct {
 	nodes []node
 	bus   *simnet.Resource // the single medium in SharedBus mode
 	trace bool
+	// fp is the active fault plan, nil when Config.Fault is absent or has
+	// zero intensity — the fault-free build path stays byte-identical.
+	fp *fault.Plan
 
 	numProcs int64
 	steps    int64 // tiles per processor (extent of the mapping dimension)
@@ -45,9 +49,9 @@ type builder struct {
 // tileInfo is the precomputed per-tile record the emission passes run on,
 // so they never touch coordinate vectors (except for trace labels).
 type tileInfo struct {
-	rank   int64 // lexicographic rank in the tile space
-	volume int64 // iteration points (boundary tiles may be smaller)
-	exists bool  // the (proc, step) slot holds a tile of the space
+	rank   int64      // lexicographic rank in the tile space
+	volume int64      // iteration points (boundary tiles may be smaller)
+	exists bool       // the (proc, step) slot holds a tile of the space
 	coord  ilmath.Vec // populated only when tracing, for labels
 }
 
@@ -71,7 +75,11 @@ func (a *msgArena) alloc() *message {
 }
 
 func newBuilder(cfg Config, eng *simnet.Engine) *builder {
-	return &builder{cfg: cfg, eng: eng, trace: cfg.Trace}
+	b := &builder{cfg: cfg, eng: eng, trace: cfg.Trace}
+	if cfg.Fault != nil && cfg.Fault.Active() {
+		b.fp = cfg.Fault
+	}
+	return b
 }
 
 // speed returns node p's CPU speed factor (1.0 when homogeneous).
@@ -110,8 +118,15 @@ func (b *builder) build() error {
 	b.collectMessages()
 	// Pre-size the engine: each tile emits one compute plus a few activities
 	// and edges per message (at most 6 activities and ~12 edges per message
-	// across both modes, bus stage included).
-	b.eng.Reserve(b.numTiles+6*b.numMsgs+1, 2*b.numTiles+12*b.numMsgs)
+	// across both modes, bus stage included). An active fault plan can add a
+	// pause per tile and up to 2·MaxResend activities (retransmission +
+	// timeout) per message.
+	acts, edges := b.numTiles+6*b.numMsgs+1, 2*b.numTiles+12*b.numMsgs
+	if b.fp != nil {
+		acts += b.numTiles + 2*b.fp.MaxResend*b.numMsgs
+		edges += b.numTiles + 2*b.fp.MaxResend*b.numMsgs
+	}
+	b.eng.Reserve(acts, edges)
 	switch b.cfg.Mode {
 	case Blocking:
 		b.buildBlocking()
@@ -154,6 +169,37 @@ func (b *builder) makeNodes() {
 		}
 		b.nodes[p] = node{cpu: cpu, commIn: in, commOut: out}
 	}
+	if b.fp != nil {
+		b.installPerturb()
+	}
+}
+
+// installPerturb registers the engine-level duration hook carrying the
+// fault plan's per-resource factors: CPU straggler factors on each
+// processor's CPU, link slowdown factors on each communication port (rx
+// port 2p, tx port 2p+1, shared bus −1). Per-message jitter and
+// retransmissions are handled structurally in wire(); resources without a
+// factor (none exist today) pass through unchanged.
+func (b *builder) installPerturb() {
+	factors := make(map[*simnet.Resource]float64, 3*len(b.nodes)+1)
+	for p := range b.nodes {
+		n := &b.nodes[p]
+		factors[n.cpu] = b.fp.CPUFactor(int64(p))
+		// With a single half-duplex channel commIn == commOut: the rx-port
+		// factor is assigned first and the tx write below overwrites it, so
+		// the shared channel deterministically carries the tx-port factor.
+		factors[n.commIn] = b.fp.LinkFactor(2 * int64(p))
+		factors[n.commOut] = b.fp.LinkFactor(2*int64(p) + 1)
+	}
+	if b.bus != nil {
+		factors[b.bus] = b.fp.LinkFactor(-1)
+	}
+	b.eng.SetPerturb(func(r *simnet.Resource, d float64) float64 {
+		if f, ok := factors[r]; ok {
+			return d * f
+		}
+		return d
+	})
 }
 
 // collectMessages enumerates every tile and every tiled dependence, filling
@@ -178,8 +224,8 @@ func (b *builder) collectMessages() {
 	for i := 0; i < nSlots; i++ {
 		in := i * nDeps
 		out := (nSlots + i) * nDeps
-		b.inbox[i] = backing[in:in : in+nDeps]
-		b.outbox[i] = backing[out:out : out+nDeps]
+		b.inbox[i] = backing[in : in : in+nDeps]
+		b.outbox[i] = backing[out : out : out+nDeps]
 	}
 
 	mapDim := m.MapDim
@@ -265,6 +311,25 @@ func (b *builder) tlabel(prefix string, ti *tileInfo) string {
 	return fmt.Sprintf("%s%v", prefix, ti.coord)
 }
 
+// plabel renders a pause-activity label only when tracing.
+func (b *builder) plabel(p, s int64) string {
+	if !b.trace {
+		return ""
+	}
+	return fmt.Sprintf("pause p%d s%d", p, s)
+}
+
+// pause chains the fault plan's transient node pause (if any) onto
+// processor p's CPU program order ahead of its step-s tile work.
+func (b *builder) pause(p, s int64, chain func(int64, *simnet.Activity) *simnet.Activity) {
+	if b.fp == nil {
+		return
+	}
+	if d := b.fp.Pause(p, s); d > 0 {
+		chain(p, b.eng.NewActivity(b.nodes[p].cpu, d, b.plabel(p, s)))
+	}
+}
+
 // buildBlocking emits the ProcB structure of Section 5: for every local
 // step, blocking receives (CPU copies in), compute, blocking sends (CPU
 // copies out). The wire transfer itself rides the comm channels.
@@ -293,6 +358,7 @@ func (b *builder) buildBlocking() {
 				continue
 			}
 			cpu := b.nodes[p].cpu
+			b.pause(p, s, chain)
 			// Blocking receives: copy kernel→user (B2) and prepare the MPI
 			// buffer (A3) on the CPU, after the data hit the wire's end.
 			for _, m := range b.inbox[slot] {
@@ -394,6 +460,7 @@ func (b *builder) buildOverlapped() {
 				continue
 			}
 			cpu := b.nodes[p].cpu
+			b.pause(p, s, chain)
 			// Prologue at s = 0: post receives for this first tile's own
 			// inputs (the pseudocode pre-posts them before the loop).
 			if s == 0 {
@@ -469,13 +536,46 @@ func (b *builder) resolveDeferred() {
 // and returns the arrival activity the receiver side can depend on. On a
 // switched network this is B4 (sender tx port) followed by B1 (receiver rx
 // port); on a shared bus it is a single occupancy of the one medium.
+//
+// Under an active fault plan the tx stage becomes a retransmission chain:
+// each lost attempt burns its (jittered) wire time on the tx port, then the
+// port sits on the retransmission timer (timeout × backoff^attempt) before
+// re-occupying itself with the next attempt. Only the final, successful
+// attempt feeds the bus/rx stages. The plan caps the attempt count, so the
+// chain is finite and the loss model degrades rather than deadlocks.
 func (b *builder) wire(m *message, pred *simnet.Activity) *simnet.Activity {
-	b4 := b.eng.NewActivity(b.nodes[m.fromProc].commOut, b.cfg.Machine.Wire(m.bytes),
-		b.mlabel("wire-tx", m, false))
-	if pred != nil {
-		b.eng.AddDep(pred, b4)
+	tx := b.nodes[m.fromProc].commOut
+	base := b.cfg.Machine.Wire(m.bytes)
+	resends := 0
+	if b.fp != nil {
+		resends = b.fp.Resends(m.fromRank, m.toRank)
 	}
-	last := b4
+	var b4, prev *simnet.Activity
+	for attempt := 0; attempt <= resends; attempt++ {
+		dur := base
+		if b.fp != nil {
+			dur *= b.fp.WireFactor(m.fromRank, m.toRank, attempt)
+		}
+		a := b.eng.NewActivity(tx, dur, b.mlabel("wire-tx", m, false))
+		if prev != nil {
+			b.eng.AddDep(prev, a)
+		} else {
+			if pred != nil {
+				b.eng.AddDep(pred, a)
+			}
+			b4 = a // the first attempt is what the sender CPU op gates
+		}
+		prev = a
+		if attempt < resends {
+			// Lost attempt: the sender's NIC waits out the retransmission
+			// timeout (with exponential backoff) before trying again.
+			to := b.eng.NewActivity(tx, b.fp.RetryDelay(base, attempt),
+				b.mlabel("retx-timeout", m, false))
+			b.eng.AddDep(a, to)
+			prev = to
+		}
+	}
+	last := prev
 	if b.cfg.Network == SharedBus {
 		// The shared medium is an extra arbitration stage between the tx
 		// and rx ports: every message in the cluster serializes through it.

@@ -3,13 +3,15 @@ package sim
 import (
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 )
 
 // cacheKey identifies one grid simulation point. Every field is a plain
-// comparable value, so two requests for the same point — e.g. a ladder rung
-// revisited by the refinement pass of an optimum search, or a sweep height
-// re-simulated by a later Optimum call — collapse onto one entry.
+// comparable value (fault.Plan included), so two requests for the same
+// point — e.g. a ladder rung revisited by the refinement pass of an optimum
+// search, or a sweep height re-simulated by a later Optimum call — collapse
+// onto one entry.
 type cacheKey struct {
 	grid    model.Grid3D
 	v       int64
@@ -17,6 +19,7 @@ type cacheKey struct {
 	mode    Mode
 	cap     Capability
 	net     Network
+	fault   fault.Plan
 }
 
 // Cache memoizes grid simulation results keyed on (grid, V, machine, mode,
@@ -53,7 +56,18 @@ func (c *Cache) SimulateGrid(g model.Grid3D, v int64, m model.Machine, mode Mode
 
 // SimulateGridNet is SimulateGrid with an explicit interconnect model.
 func (c *Cache) SimulateGridNet(g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, net Network) (Result, error) {
-	key := cacheKey{grid: g, v: v, machine: m, mode: mode, cap: cap, net: net}
+	return c.SimulateGridFault(g, v, m, mode, cap, net, fault.Plan{})
+}
+
+// SimulateGridFault is SimulateGridNet with a fault-injection plan. An
+// inactive plan (zero intensity) is canonicalized to the zero plan, so a
+// fault-free request through this path shares its cache entry — and its
+// byte-identical result — with the plain SimulateGrid path.
+func (c *Cache) SimulateGridFault(g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, net Network, fp fault.Plan) (Result, error) {
+	if !fp.Active() {
+		fp = fault.Plan{}
+	}
+	key := cacheKey{grid: g, v: v, machine: m, mode: mode, cap: cap, net: net, fault: fp}
 	c.mu.RLock()
 	r, ok := c.m[key]
 	c.mu.RUnlock()
@@ -65,6 +79,9 @@ func (c *Cache) SimulateGridNet(g model.Grid3D, v int64, m model.Machine, mode M
 		return Result{}, err
 	}
 	cfg.Network = net
+	if fp.Active() {
+		cfg.Fault = &fp
+	}
 	sm := c.pool.Get().(*Simulator)
 	r, err = sm.Simulate(cfg)
 	c.pool.Put(sm)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/deps"
+	"repro/internal/fault"
 	"repro/internal/ilmath"
 	"repro/internal/model"
 	"repro/internal/schedule"
@@ -94,5 +95,19 @@ func SimulateGridNet(c model.Grid3D, v int64, m model.Machine, mode Mode, cap Ca
 		return Result{}, err
 	}
 	cfg.Network = net
+	return Simulate(cfg)
+}
+
+// SimulateGridFault is SimulateGridNet under a fault-injection plan. An
+// inactive plan leaves the result byte-identical to SimulateGridNet's.
+func SimulateGridFault(c model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, net Network, fp fault.Plan) (Result, error) {
+	cfg, err := GridConfig(c, v, m, mode, cap)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Network = net
+	if fp.Active() {
+		cfg.Fault = &fp
+	}
 	return Simulate(cfg)
 }

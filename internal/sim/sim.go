@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/deps"
+	"repro/internal/fault"
 	"repro/internal/ilmath"
 	"repro/internal/model"
 	"repro/internal/schedule"
@@ -134,6 +135,12 @@ type Config struct {
 	// CPU-resident work takes duration/NodeSpeed(r). nil means homogeneous
 	// (all 1.0). Models stragglers in the otherwise identical cluster.
 	NodeSpeed func(rank int64) float64
+	// Fault optionally injects deterministic, seeded perturbations into
+	// the simulated cluster: CPU stragglers, link slowdowns, per-message
+	// wire jitter, message loss with timeout/backoff retransmission, and
+	// transient node pauses. nil — or a plan with zero intensity — leaves
+	// the simulation byte-identical to the fault-free one.
+	Fault *fault.Plan
 }
 
 // Result of one simulation.
@@ -188,6 +195,11 @@ func (c Config) Validate() error {
 			if s := c.NodeSpeed(p); s <= 0 {
 				return fmt.Errorf("sim: non-positive speed %g for node %d", s, p)
 			}
+		}
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -99,7 +99,16 @@ type Engine struct {
 	trace     []TraceEntry
 	keepTrace bool
 	skipUtil  bool
+	perturb   PerturbFunc
 }
+
+// PerturbFunc rescales an activity's nominal duration at registration time
+// — the engine's fault-injection hook. It receives the resource the
+// activity is bound to and the nominal duration and returns the perturbed
+// duration, which must remain non-negative and finite. Builders install one
+// via SetPerturb to model stragglers, slow links or jittered transfers
+// without changing the graph structure.
+type PerturbFunc func(r *Resource, duration float64) float64
 
 // TraceEntry records one executed activity for Gantt rendering.
 type TraceEntry struct {
@@ -128,7 +137,13 @@ func (e *Engine) Reset() {
 	}
 	e.keepTrace = false
 	e.skipUtil = false
+	e.perturb = nil
 }
+
+// SetPerturb installs (or, with nil, removes) the duration perturbation
+// hook applied to every subsequently registered activity. Reset removes the
+// hook, so a reused engine starts each simulation unperturbed.
+func (e *Engine) SetPerturb(f PerturbFunc) { e.perturb = f }
 
 // KeepTrace enables recording of a full execution trace (off by default to
 // keep large sweeps cheap).
@@ -178,6 +193,12 @@ func (e *Engine) NewActivity(r *Resource, duration float64, label string) *Activ
 	}
 	if duration < 0 || math.IsNaN(duration) {
 		panic(fmt.Sprintf("simnet: invalid duration %g for %q", duration, label))
+	}
+	if e.perturb != nil {
+		duration = e.perturb(r, duration)
+		if duration < 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+			panic(fmt.Sprintf("simnet: perturbed duration %g for %q is invalid", duration, label))
+		}
 	}
 	n := len(e.activities)
 	chunk, idx := n/actSlabSize, n%actSlabSize
