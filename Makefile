@@ -5,7 +5,7 @@ GO ?= go
 
 BENCH ?= Fig9$$|Fig10$$|Fig11$$|Fig12$$|SimEngine$$|SimBuild$$|SweepParallel$$
 
-.PHONY: build test race bench fault-smoke check
+.PHONY: build test race bench fault-smoke docs-check check
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # TCP transport + spawn launcher are concurrency-heavy; these are the
 # packages that must stay clean under the race detector.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/simnet ./internal/mp ./cmd/tilenode
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/simnet ./internal/mp ./internal/obs ./cmd/tilenode
 
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
@@ -27,4 +27,12 @@ bench:
 fault-smoke:
 	$(GO) run ./cmd/tilebench -quick -fault-seed 7 -fault-intensity 1 fault-sweep
 
-check: build test race fault-smoke
+# Documentation hygiene: vet, gofmt-clean tree, and every markdown link and
+# anchor resolving (cmd/docscheck; offline, external URLs are skipped).
+docs-check:
+	$(GO) vet ./...
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) run ./cmd/docscheck .
+
+check: build test race fault-smoke docs-check

@@ -1,0 +1,203 @@
+// Command docscheck validates the repository's markdown documentation:
+// every relative link must resolve to an existing file or directory, and
+// every anchor (in-page `#fragment` or cross-file `file.md#fragment`) must
+// match a heading's GitHub-style slug in the target document. External
+// http(s)/mailto links are skipped — the check runs offline and is part of
+// `make docs-check`.
+//
+// Usage:
+//
+//	docscheck [path ...]
+//
+// Each path may be a markdown file or a directory to walk (default ".").
+// Vendored and hidden directories are skipped. Exit status 1 lists every
+// broken link as file:line.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		found, err := collect(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(1)
+		}
+		files = append(files, found...)
+	}
+	var problems []string
+	for _, f := range files {
+		p, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) in %d file(s)\n", len(problems), len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d markdown file(s) OK\n", len(files))
+}
+
+// collect returns the markdown files under root (or root itself if it is a
+// file), skipping hidden directories and testdata.
+func collect(root string) ([]string, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{root}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(name), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// linkRe matches inline markdown links/images: [text](target) — target up
+// to the first whitespace or closing paren, optional "title" ignored.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile returns one problem string per broken link in the file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	anchors := headingSlugs(lines)
+	var problems []string
+	inFence := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkLink(path, target, anchors); msg != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, i+1, msg))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkLink validates one link target relative to the file it appears in.
+// It returns "" when the link is fine, else a description of the problem.
+func checkLink(from, target string, selfAnchors map[string]bool) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; checked by humans, not offline CI
+	case strings.HasPrefix(target, "#"):
+		slug := strings.ToLower(target[1:])
+		if !selfAnchors[slug] {
+			return fmt.Sprintf("anchor %q not found in this document", target)
+		}
+		return ""
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	dest := filepath.Join(filepath.Dir(from), file)
+	info, err := os.Stat(dest)
+	if err != nil {
+		return fmt.Sprintf("link target %q does not exist", target)
+	}
+	if frag == "" {
+		return ""
+	}
+	if info.IsDir() || !strings.EqualFold(filepath.Ext(dest), ".md") {
+		return fmt.Sprintf("anchor on non-markdown target %q", target)
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		return fmt.Sprintf("cannot read link target %q: %v", target, err)
+	}
+	if !headingSlugs(strings.Split(string(data), "\n"))[strings.ToLower(frag)] {
+		return fmt.Sprintf("anchor %q not found in %s", "#"+frag, file)
+	}
+	return ""
+}
+
+// headingSlugs returns the set of GitHub-style anchor slugs for a
+// document's headings: lowercase, punctuation stripped, spaces to hyphens,
+// duplicates suffixed -1, -2, ...
+func headingSlugs(lines []string) map[string]bool {
+	slugs := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == "" || !strings.HasPrefix(text, " ") {
+			continue // not a heading ("#hashtag" or a bare run of #)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := counts[slug]; n > 0 {
+			slugs[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			slugs[slug] = true
+		}
+		counts[slug]++
+	}
+	return slugs
+}
+
+// slugify applies GitHub's heading-to-anchor rules (close enough for this
+// repo: lowercase; keep letters, digits, hyphens, underscores; spaces
+// become hyphens; everything else is dropped).
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(s)) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Plain":                         "plain",
+		"Two Words":                     "two-words",
+		"With (Parens) & Punct.!":       "with-parens--punct",
+		"already-hyphenated_and_under":  "already-hyphenated_and_under",
+		"Mixed 123 Digits":              "mixed-123-digits",
+		"A1–A3 terms":                   "a1–a3-terms", // non-ASCII survives
+		"  leading/trailing stripped  ": "leadingtrailing-stripped",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeadingSlugs(t *testing.T) {
+	lines := []string{
+		"# Title",
+		"## Sub Section",
+		"## Sub Section", // duplicate gets -1
+		"```",
+		"# not a heading (code fence)",
+		"```",
+		"#hashtag is not a heading",
+		"### Deep One",
+	}
+	got := headingSlugs(lines)
+	for _, want := range []string{"title", "sub-section", "sub-section-1", "deep-one"} {
+		if !got[want] {
+			t.Errorf("missing slug %q in %v", want, got)
+		}
+	}
+	if got["not-a-heading-code-fence"] {
+		t.Error("heading inside code fence was indexed")
+	}
+	if len(got) != 4 {
+		t.Errorf("got %d slugs, want 4: %v", len(got), got)
+	}
+}
+
+// writeDoc writes content to dir/name and returns the path.
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	writeDoc(t, dir, "other.md", "# Other Doc\n\n## Details\n")
+	main := writeDoc(t, dir, "main.md", `# Main
+
+## Usage
+
+Good links: [self](#usage), [other](other.md), [deep](other.md#details),
+[web](https://example.com/nope), [mail](mailto:x@y.z).
+
+Bad links: [gone](missing.md), [bad anchor](#nope),
+[bad deep](other.md#absent).
+
+`+"```"+`
+[inside a fence](missing-too.md) is ignored
+`+"```"+`
+`)
+	problems, err := checkFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 {
+		t.Fatalf("got %d problems, want 3:\n%v", len(problems), problems)
+	}
+	for i, frag := range []string{"missing.md", `"#nope"`, "#absent"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("problem %d (%s) not reported in %v", i, frag, problems)
+		}
+	}
+}
+
+func TestCollectSkipsHiddenAndTestdata(t *testing.T) {
+	dir := t.TempDir()
+	writeDoc(t, dir, "top.md", "# Top\n")
+	for _, sub := range []string{".git", "testdata", "docs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeDoc(t, filepath.Join(dir, sub), "inner.md", "# Inner\n")
+	}
+	files, err := collect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 { // top.md + docs/inner.md
+		t.Fatalf("collected %v, want top.md and docs/inner.md only", files)
+	}
+}

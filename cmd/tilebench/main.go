@@ -30,11 +30,15 @@ var (
 	memProfile     = flag.String("memprofile", "", "write a heap profile to this file after the runs")
 	faultSeed      = flag.Uint64("fault-seed", 1, "for fault-sweep: fault-injection seed")
 	faultIntensity = flag.Float64("fault-intensity", 1.0, "for fault-sweep: maximum fault intensity (0..1)")
+	metricsFlag    = flag.Bool("metrics", false, "for fig9/fig10/fig11: add overlap-efficiency columns (phase-accounting pass)")
+	traceOut       = flag.String("o", "trace.json", "for trace: output path for the Chrome trace-event JSON")
+	traceMode      = flag.String("trace-mode", "overlapped", "for trace: which schedule to export (blocking | overlapped)")
+	traceV         = flag.Int64("trace-v", 0, "for trace: tile height (0 searches for the schedule's optimum)")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|all\n")
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|trace|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -109,6 +113,7 @@ func run(id string) error {
 			s = experiments.Fig11()
 		}
 		s = shrink(s)
+		s.Metrics = *metricsFlag
 		// One memo across the sweep and both optimum searches: the optimum
 		// ladder revisits every sweep height.
 		s.Cache = sim.NewCache()
@@ -284,6 +289,8 @@ func run(id string) error {
 		fmt.Println("degradation check: GRACEFUL")
 		fmt.Println()
 		return nil
+	case "trace":
+		return runTrace()
 	case "verify":
 		return runVerify()
 	case "all":

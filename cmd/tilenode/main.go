@@ -12,6 +12,14 @@
 // loopback TCP sockets (separate sockets, same code path):
 //
 //	tilenode -spawn -space 8x8x1024 -procs 2x2 -v 64 -mode overlapped
+//
+// Opt-in live instrumentation (see OBSERVABILITY.md): -metrics-addr serves
+// expvar, net/http/pprof and a /metrics.json snapshot of per-rank traffic,
+// blocking-wait histograms and TCP transport counters while the node runs;
+// -metrics-snapshot writes the same JSON to a file at teardown:
+//
+//	tilenode -spawn -space 8x8x1024 -procs 2x2 -v 64 \
+//	         -metrics-addr :8080 -metrics-snapshot metrics.json
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stencil"
 )
@@ -39,6 +48,11 @@ var (
 	vFlag     = flag.Int64("v", 64, "tile height along k")
 	modeFlag  = flag.String("mode", "overlapped", "blocking | overlapped")
 	verify    = flag.Bool("verify", true, "rank 0 verifies against a sequential run")
+
+	metricsAddr = flag.String("metrics-addr", "",
+		"serve expvar, net/http/pprof and /metrics.json on this host:port (\":0\" picks a free port)")
+	metricsSnap = flag.String("metrics-snapshot", "",
+		"write a JSON metrics snapshot to this file at teardown (\"-\" for stdout)")
 )
 
 func main() {
@@ -209,29 +223,123 @@ func spawnRun(cfg runner.Config, n int,
 	return nil
 }
 
+// observer wires the opt-in obs layer into the node: one obs.CommMetrics
+// per local rank, aggregated in a Registry that is served live at
+// -metrics-addr and dumped as JSON to -metrics-snapshot at teardown. A nil
+// *observer is valid and turns every method into a no-op, so the plain
+// uninstrumented path stays untouched.
+type observer struct {
+	reg      *obs.Registry
+	bound    string // address the metrics server actually bound
+	snap     string
+	shutdown func() error
+}
+
+// newObserver returns nil (no instrumentation) when both flags are unset.
+func newObserver(addr, snap string) (*observer, error) {
+	if addr == "" && snap == "" {
+		return nil, nil
+	}
+	o := &observer{reg: obs.NewRegistry(), snap: snap}
+	if addr != "" {
+		bound, stop, err := o.reg.Serve(addr)
+		if err != nil {
+			return nil, err
+		}
+		o.bound = bound
+		o.shutdown = stop
+		fmt.Fprintf(os.Stderr, "tilenode: metrics on http://%s/debug/vars\n", bound)
+	}
+	return o, nil
+}
+
+// instrument registers a collector for rank and returns the TCP options
+// (base plus the transport event hook) and the Comm wrapper to apply after
+// connecting.
+func (o *observer) instrument(rank, size int, base *mp.TCPOptions) (*mp.TCPOptions, func(mp.Comm) mp.Comm) {
+	if o == nil {
+		return base, func(c mp.Comm) mp.Comm { return c }
+	}
+	m := obs.NewCommMetrics(rank, size)
+	o.reg.Register(m)
+	opts := &mp.TCPOptions{}
+	if base != nil {
+		*opts = *base
+	}
+	opts.OnEvent = m.TCPEvent
+	return opts, func(c mp.Comm) mp.Comm { return obs.InstrumentComm(c, m) }
+}
+
+// finish writes the teardown snapshot (if requested) and stops the metrics
+// server. Call after all ranks have quiesced.
+func (o *observer) finish() error {
+	if o == nil {
+		return nil
+	}
+	var err error
+	if o.snap != "" {
+		w := os.Stdout
+		if o.snap != "-" {
+			f, ferr := os.Create(o.snap)
+			if ferr != nil {
+				err = ferr
+			} else {
+				defer f.Close()
+				w = f
+			}
+		}
+		if err == nil {
+			err = o.reg.WriteJSON(w)
+		}
+	}
+	if o.shutdown != nil {
+		o.shutdown()
+	}
+	return err
+}
+
 func run() error {
 	cfg, err := buildConfig()
 	if err != nil {
 		return err
 	}
 	n := int(cfg.Grid.PI * cfg.Grid.PJ)
+	obsv, err := newObserver(*metricsAddr, *metricsSnap)
+	if err != nil {
+		return err
+	}
+	err = runRanks(cfg, n, obsv)
+	if ferr := obsv.finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func runRanks(cfg runner.Config, n int, obsv *observer) error {
 	if *spawnFlag {
 		addrs, err := loopbackAddrs(n)
 		if err != nil {
 			return err
 		}
 		return spawnRun(cfg, n, func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
-			return mp.ConnectTCP(rank, n, addrs, &mp.TCPOptions{Cancel: cancel})
+			opts, wrap := obsv.instrument(rank, n, &mp.TCPOptions{Cancel: cancel})
+			c, err := mp.ConnectTCP(rank, n, addrs, opts)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(c), nil
 		})
 	}
 	if *rankFlag < 0 || *addrsFlag == "" {
 		return fmt.Errorf("need -spawn, or both -rank and -addrs")
 	}
 	addrs := strings.Split(*addrsFlag, ",")
-	c, err := mp.ConnectTCP(*rankFlag, n, addrs, nil)
+	opts, wrap := obsv.instrument(*rankFlag, n, nil)
+	c, err := mp.ConnectTCP(*rankFlag, n, addrs, opts)
 	if err != nil {
 		return err
 	}
+	c = wrap(c)
 	defer c.Close()
 	return rankMain(c, cfg)
 }

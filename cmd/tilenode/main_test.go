@@ -1,13 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stencil"
 )
@@ -83,5 +89,87 @@ func TestSpawnRunDelayedRankSucceeds(t *testing.T) {
 		}
 	case <-time.After(60 * time.Second):
 		t.Fatal("spawnRun hung with a late-starting rank")
+	}
+}
+
+// TestSpawnRunInstrumentedSnapshot is the acceptance check for the live
+// instrumentation: an in-process cluster runs with each rank wrapped in
+// BOTH obs.InstrumentComm and mp.CountingComm, and the teardown snapshot's
+// per-rank message and byte counts must equal the CountingComm reference
+// totals exactly. The snapshot is read back over the live HTTP endpoint
+// (/metrics.json) and from the -metrics-snapshot teardown file, so the
+// whole observer path — registry, server, JSON dump — is covered.
+func TestSpawnRunInstrumentedSnapshot(t *testing.T) {
+	cfg := testConfig()
+	n := int(cfg.Grid.PI * cfg.Grid.PJ)
+	addrs, err := loopbackAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "metrics.json")
+	obsv, err := newObserver("127.0.0.1:0", snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := make([]*mp.CountingComm, n)
+	connect := func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
+		opts, wrap := obsv.instrument(rank, n, &mp.TCPOptions{
+			DialTimeout: 30 * time.Second, Cancel: cancel,
+		})
+		c, err := mp.ConnectTCP(rank, n, addrs, opts)
+		if err != nil {
+			return nil, err
+		}
+		counting[rank] = mp.WithCounters(c)
+		return wrap(counting[rank]), nil
+	}
+	if err := spawnRun(cfg, n, connect); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live endpoint, after the ranks quiesced but before teardown.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics.json", obsv.bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics.json: status %d, err %v", resp.StatusCode, err)
+	}
+	if err := obsv.finish(); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(live) != string(fromFile) {
+		t.Error("teardown snapshot differs from the live /metrics.json body")
+	}
+
+	var dump struct {
+		Ranks []obs.CommSnapshot `json:"ranks"`
+	}
+	if err := json.Unmarshal(fromFile, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Ranks) != n {
+		t.Fatalf("snapshot has %d ranks, want %d", len(dump.Ranks), n)
+	}
+	for _, s := range dump.Ranks {
+		ref := counting[s.Rank].C.Snapshot()
+		if s.SendMsgs != ref.SendMsgs || s.SendBytes != ref.SendBytes ||
+			s.RecvMsgs != ref.RecvMsgs || s.RecvBytes != ref.RecvBytes ||
+			s.Barriers != ref.Barriers {
+			t.Errorf("rank %d: snapshot %+v != CountingComm reference %+v", s.Rank, s, ref)
+		}
+		if s.SendBytes == 0 || s.RecvBytes == 0 {
+			t.Errorf("rank %d: no traffic recorded (%+v) — instrumentation not wired", s.Rank, s)
+		}
+		if s.TCP.DialOKs+s.TCP.AcceptOKs != int64(n-1) {
+			t.Errorf("rank %d: %d dials + %d accepts, want %d connections",
+				s.Rank, s.TCP.DialOKs, s.TCP.AcceptOKs, n-1)
+		}
 	}
 }

@@ -3,7 +3,10 @@
 // IPPS 2001) as a Go library.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); runnable entry points are under cmd/ and examples/; the
-// benchmarks in bench_test.go regenerate every figure and table of the
-// paper's evaluation (see EXPERIMENTS.md for paper-vs-measured results).
+// inventory and README.md for the package-dependency overview); runnable
+// entry points are under cmd/ and examples/; the benchmarks in
+// bench_test.go regenerate every figure and table of the paper's
+// evaluation (see EXPERIMENTS.md for paper-vs-measured results, and
+// OBSERVABILITY.md for the metrics, trace-export, and live-instrumentation
+// layer that ties the two execution substrates together).
 package repro

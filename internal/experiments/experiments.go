@@ -35,6 +35,10 @@ type Sweep struct {
 	// height, and its refinement rungs overlap the ladder). When nil, each
 	// call uses a private cache, which still deduplicates within the call.
 	Cache *sim.Cache
+	// Metrics enables the phase-accounting pass on every simulated point and
+	// fills the OverlapEff/BlockingEff columns of the rows. Off by default:
+	// the pass costs an interval log per simulation.
+	Metrics bool
 }
 
 // cache returns the sweep's shared cache, or a fresh private one.
@@ -45,10 +49,10 @@ func (s Sweep) cache() *sim.Cache {
 	return sim.NewCache()
 }
 
-// modeCap returns the hardware capability each schedule is simulated with:
+// ModeCap returns the hardware capability each schedule is simulated with:
 // the sweep's capability for the overlapped schedule, no DMA for blocking
 // (the blocking schedule burns CPU for every copy regardless).
-func (s Sweep) modeCap(mode sim.Mode) sim.Capability {
+func (s Sweep) ModeCap(mode sim.Mode) sim.Capability {
 	if mode == sim.Blocking {
 		return sim.CapNone
 	}
@@ -68,6 +72,10 @@ type SweepRow struct {
 	// at the right grain.
 	OverlapCPUUtil  float64
 	BlockingCPUUtil float64
+	// Overlap efficiency (hidden-comm-time / total-comm-time, see
+	// obs.Report) per schedule. Zero unless Sweep.Metrics is set.
+	OverlapEff  float64
+	BlockingEff float64
 }
 
 // Ladder returns a geometric ladder of tile heights from lo to hi
@@ -173,7 +181,8 @@ func (s Sweep) evalPoints(c *sim.Cache, pts []simPoint) ([]sim.Result, error) {
 			defer wg.Done()
 			for i := range tasks {
 				p := pts[i]
-				r, err := c.SimulateGrid(s.Grid, p.v, s.Machine, p.mode, s.modeCap(p.mode))
+				r, err := c.SimulateGridWith(s.Grid, p.v, s.Machine, p.mode, s.ModeCap(p.mode),
+					sim.GridOpts{Metrics: s.Metrics})
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("%s: V=%d %s: %w", s.ID, p.v, p.mode, err)
@@ -203,7 +212,7 @@ feed:
 
 // rowAt assembles one SweepRow from the two simulated schedules at height v.
 func (s Sweep) rowAt(v int64, ov, bl sim.Result) SweepRow {
-	return SweepRow{
+	r := SweepRow{
 		V:               v,
 		G:               s.Grid.TileVolume(v),
 		OverlapSim:      ov.Makespan,
@@ -213,6 +222,13 @@ func (s Sweep) rowAt(v int64, ov, bl sim.Result) SweepRow {
 		OverlapCPUUtil:  ov.CPUUtilization,
 		BlockingCPUUtil: bl.CPUUtilization,
 	}
+	if ov.Obs != nil {
+		r.OverlapEff = ov.Obs.OverlapEfficiency
+	}
+	if bl.Obs != nil {
+		r.BlockingEff = bl.Obs.OverlapEfficiency
+	}
+	return r
 }
 
 // Run evaluates the sweep: simulated and analytic completion times for both
@@ -241,11 +257,13 @@ func (s Sweep) Run() ([]SweepRow, error) {
 func (s Sweep) RunSequential() ([]SweepRow, error) {
 	rows := make([]SweepRow, 0, len(s.Heights))
 	for _, v := range s.Heights {
-		ov, err := sim.SimulateGrid(s.Grid, v, s.Machine, sim.Overlapped, s.Cap)
+		ov, err := sim.SimulateGridWith(s.Grid, v, s.Machine, sim.Overlapped, s.Cap,
+			sim.GridOpts{Metrics: s.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("%s: V=%d overlapped: %w", s.ID, v, err)
 		}
-		bl, err := sim.SimulateGrid(s.Grid, v, s.Machine, sim.Blocking, sim.CapNone)
+		bl, err := sim.SimulateGridWith(s.Grid, v, s.Machine, sim.Blocking, sim.CapNone,
+			sim.GridOpts{Metrics: s.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("%s: V=%d blocking: %w", s.ID, v, err)
 		}
@@ -304,29 +322,40 @@ func (s Sweep) Optimum(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
 	return best, bestT, nil
 }
 
-// Format renders the sweep as an aligned text table.
+// Format renders the sweep as an aligned text table. Sweeps run with Metrics
+// get two extra columns: the overlap efficiency of each schedule.
 func Format(s Sweep, rows []SweepRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (%s)\n", s.Title, s.ID)
-	fmt.Fprintf(&b, "%8s %10s %14s %14s %14s %14s %8s %8s\n",
+	fmt.Fprintf(&b, "%8s %10s %14s %14s %14s %14s %8s %8s",
 		"V", "g", "overlap(sim)", "blocking(sim)", "overlap(model)", "blocking(mod)", "ovCPU%", "blCPU%")
+	if s.Metrics {
+		fmt.Fprintf(&b, " %8s %8s", "ovEff%", "blEff%")
+	}
+	b.WriteByte('\n')
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%8d %10d %14.6f %14.6f %14.6f %14.6f %7.0f%% %7.0f%%\n",
+		fmt.Fprintf(&b, "%8d %10d %14.6f %14.6f %14.6f %14.6f %7.0f%% %7.0f%%",
 			r.V, r.G, r.OverlapSim, r.BlockingSim, r.OverlapModel, r.BlockingModel,
 			100*r.OverlapCPUUtil, 100*r.BlockingCPUUtil)
+		if s.Metrics {
+			fmt.Fprintf(&b, " %7.1f%% %7.1f%%", 100*r.OverlapEff, 100*r.BlockingEff)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
 // CSV writes the sweep rows as comma-separated values with a header, for
-// external plotting of the figures.
+// external plotting of the figures. The overlap-efficiency columns are always
+// present and hold zeros when the sweep ran without Metrics.
 func CSV(w io.Writer, rows []SweepRow) error {
-	if _, err := fmt.Fprintln(w, "v,g,overlap_sim_s,blocking_sim_s,overlap_model_s,blocking_model_s"); err != nil {
+	if _, err := fmt.Fprintln(w, "v,g,overlap_sim_s,blocking_sim_s,overlap_model_s,blocking_model_s,overlap_eff,blocking_eff"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "%d,%d,%.9g,%.9g,%.9g,%.9g\n",
-			r.V, r.G, r.OverlapSim, r.BlockingSim, r.OverlapModel, r.BlockingModel); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.9g,%.9g,%.9g,%.9g,%.6g,%.6g\n",
+			r.V, r.G, r.OverlapSim, r.BlockingSim, r.OverlapModel, r.BlockingModel,
+			r.OverlapEff, r.BlockingEff); err != nil {
 			return err
 		}
 	}

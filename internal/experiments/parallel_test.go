@@ -51,6 +51,44 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRunMetricsParallelMatchesSequential: with the phase-accounting pass on,
+// the worker-pool Run must still deep-equal the sequential reference — the
+// overlap-efficiency columns included — regardless of worker scheduling
+// (obs.Analyze iterates tracks in a canonical order, so the float
+// accumulation order is fixed).
+func TestRunMetricsParallelMatchesSequential(t *testing.T) {
+	s := shrinkSweep(Fig9(), 64)
+	s.Metrics = true
+	par, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s.RunSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Errorf("metrics rows differ from sequential reference:\npar: %+v\nseq: %+v", par, seq)
+	}
+	best := 0
+	for i, r := range par {
+		if r.OverlapEff <= 0 || r.OverlapEff > 1 || r.BlockingEff < 0 || r.BlockingEff > 1 {
+			t.Errorf("V=%d: efficiency out of range: ov %g bl %g", r.V, r.OverlapEff, r.BlockingEff)
+		}
+		if r.OverlapSim < par[best].OverlapSim {
+			best = i
+		}
+	}
+	// At the overlapped schedule's best height it must hide a larger comm
+	// fraction than blocking does (at comm-dominated extremes the blocking
+	// schedule can accidentally edge ahead — the paper's claim is about the
+	// optimum).
+	if r := par[best]; r.OverlapEff <= r.BlockingEff {
+		t.Errorf("V=%d (optimum): overlapped efficiency %g not above blocking %g",
+			r.V, r.OverlapEff, r.BlockingEff)
+	}
+}
+
 // TestRunSharedCacheIdentical: running through a shared cache (hits on the
 // second call) returns the same rows as the first.
 func TestRunSharedCacheIdentical(t *testing.T) {

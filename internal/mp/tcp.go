@@ -39,6 +39,61 @@ type TCPOptions struct {
 	// how a launcher stops surviving ranks from waiting out the full dial
 	// timeout for a rank that already failed.
 	Cancel <-chan struct{}
+	// OnEvent, when non-nil, observes transport lifecycle events: dial
+	// retries and successes, accepted handshakes, handshake failures, and
+	// post-handshake frame-write errors. It is called synchronously from
+	// the dial/accept goroutines and the send path, so it must be safe for
+	// concurrent use and must not block; obs.InstrumentComm uses it to feed
+	// the runtime TCP counters.
+	OnEvent func(TCPEvent)
+}
+
+// TCPEventKind classifies a TCPEvent.
+type TCPEventKind int
+
+const (
+	// EvDialRetry: a dial attempt to Peer failed with Err and will be
+	// retried after backoff (Attempt counts from 0).
+	EvDialRetry TCPEventKind = iota
+	// EvDialOK: the dial to Peer succeeded on attempt Attempt.
+	EvDialOK
+	// EvAcceptOK: an inbound connection completed its handshake as Peer.
+	EvAcceptOK
+	// EvHandshakeErr: a handshake read/write failed (Peer is -1 on the
+	// accept side, where the peer's rank was never learned).
+	EvHandshakeErr
+	// EvWriteErr: a post-handshake frame write to Peer failed with Err.
+	EvWriteErr
+)
+
+func (k TCPEventKind) String() string {
+	switch k {
+	case EvDialRetry:
+		return "dial-retry"
+	case EvDialOK:
+		return "dial-ok"
+	case EvAcceptOK:
+		return "accept-ok"
+	case EvHandshakeErr:
+		return "handshake-err"
+	case EvWriteErr:
+		return "write-err"
+	default:
+		return fmt.Sprintf("TCPEventKind(%d)", int(k))
+	}
+}
+
+// TCPEvent is one transport lifecycle observation delivered to
+// TCPOptions.OnEvent.
+type TCPEvent struct {
+	Kind TCPEventKind
+	// Peer is the peer rank the event concerns, or -1 when unknown.
+	Peer int
+	// Attempt is the dial attempt number, counted from 0 (dial events
+	// only).
+	Attempt int
+	// Err is the failure for error-kind events, nil otherwise.
+	Err error
 }
 
 const (
@@ -91,6 +146,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 	}
 	if opts != nil {
 		c.ioTimeout = opts.IOTimeout
+		c.onEvent = opts.OnEvent
 	}
 	c.barCond = sync.NewCond(&c.barMu)
 
@@ -151,6 +207,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
 				conn.Close()
+				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: -1, Err: err})
 				fail(fmt.Errorf("mp: rank %d handshake read: %w", rank, err))
 				return
 			}
@@ -158,6 +215,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 			peer := int(int32(binary.BigEndian.Uint32(hello[:])))
 			if err := checkRank(peer, size, "peer"); err != nil {
 				conn.Close()
+				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: peer, Err: err})
 				fail(err)
 				return
 			}
@@ -165,6 +223,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 				fail(err)
 				return
 			}
+			c.event(TCPEvent{Kind: EvAcceptOK, Peer: peer})
 		}
 	}()
 	for i := 0; i < rank; i++ {
@@ -183,12 +242,14 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 				}
 				conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
 				if err == nil {
+					c.event(TCPEvent{Kind: EvDialOK, Peer: peer, Attempt: int(attempt)})
 					break
 				}
 				if time.Now().After(deadline) {
 					fail(fmt.Errorf("mp: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
 					return
 				}
+				c.event(TCPEvent{Kind: EvDialRetry, Peer: peer, Attempt: int(attempt), Err: err})
 				// Capped exponential backoff with deterministic ±25% jitter
 				// keyed on (rank, peer, attempt).
 				u := fault.Unit(uint64(rank)+1, int64(peer), attempt)
@@ -208,6 +269,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 			binary.BigEndian.PutUint32(hello[:], uint32(int32(rank)))
 			if _, err := conn.Write(hello[:]); err != nil {
 				conn.Close()
+				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: peer, Err: err})
 				fail(fmt.Errorf("mp: rank %d handshake write: %w", rank, err))
 				return
 			}
@@ -250,6 +312,7 @@ type tcpComm struct {
 	box        *mailbox
 	readers    sync.WaitGroup
 	ioTimeout  time.Duration
+	onEvent    func(TCPEvent)
 
 	mu     sync.Mutex
 	closed bool
@@ -305,14 +368,23 @@ func (c *tcpComm) writeFrame(dst, tag int, data []byte) error {
 		defer pc.conn.SetWriteDeadline(time.Time{})
 	}
 	if _, err := pc.conn.Write(hdr[:]); err != nil {
+		c.event(TCPEvent{Kind: EvWriteErr, Peer: dst, Err: err})
 		return err
 	}
 	if len(data) > 0 {
 		if _, err := pc.conn.Write(data); err != nil {
+			c.event(TCPEvent{Kind: EvWriteErr, Peer: dst, Err: err})
 			return err
 		}
 	}
 	return nil
+}
+
+// event delivers ev to the registered observer, if any.
+func (c *tcpComm) event(ev TCPEvent) {
+	if c.onEvent != nil {
+		c.onEvent(ev)
+	}
 }
 
 func (c *tcpComm) readLoop(peer int, pc *peerConn) {

@@ -1,0 +1,168 @@
+package mp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// eventLog collects TCPEvents concurrently; OnEvent is called from dial,
+// accept, and send goroutines simultaneously.
+type eventLog struct {
+	mu     sync.Mutex
+	events []TCPEvent
+}
+
+func (l *eventLog) record(ev TCPEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) count(kind TCPEventKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *eventLog) find(kind TCPEventKind) (TCPEvent, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ev := range l.events {
+		if ev.Kind == kind {
+			return ev, true
+		}
+	}
+	return TCPEvent{}, false
+}
+
+// TestTCPEventsConnect: a mesh-up where the dialer starts before the
+// listener must surface the retries as EvDialRetry (with increasing
+// attempt numbers and non-nil errors), then EvDialOK on the dialer and
+// EvAcceptOK on the listener.
+func TestTCPEventsConnect(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	logs := [2]eventLog{}
+	comms := make([]Comm, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	run := func(rank int, delay time.Duration) {
+		defer wg.Done()
+		time.Sleep(delay)
+		opts := &TCPOptions{
+			DialTimeout: 10 * time.Second,
+			DialBackoff: 5 * time.Millisecond,
+			OnEvent:     logs[rank].record,
+		}
+		comms[rank], errs[rank] = ConnectTCP(rank, 2, addrs, opts)
+	}
+	wg.Add(2)
+	go run(1, 0)                    // dialer starts immediately and must retry
+	go run(0, 200*time.Millisecond) // listener shows up late
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		defer comms[rank].Close()
+	}
+
+	if n := logs[1].count(EvDialRetry); n == 0 {
+		t.Error("dialer recorded no EvDialRetry despite the late listener")
+	}
+	retry, _ := logs[1].find(EvDialRetry)
+	if retry.Peer != 0 || retry.Err == nil {
+		t.Errorf("EvDialRetry = %+v, want Peer 0 and a non-nil Err", retry)
+	}
+	ok, found := logs[1].find(EvDialOK)
+	if !found {
+		t.Fatal("dialer recorded no EvDialOK")
+	}
+	if ok.Peer != 0 || ok.Attempt < 1 || ok.Err != nil {
+		t.Errorf("EvDialOK = %+v, want Peer 0, Attempt >= 1, nil Err", ok)
+	}
+	acc, found := logs[0].find(EvAcceptOK)
+	if !found {
+		t.Fatal("listener recorded no EvAcceptOK")
+	}
+	if acc.Peer != 1 || acc.Err != nil {
+		t.Errorf("EvAcceptOK = %+v, want Peer 1, nil Err", acc)
+	}
+	// A clean same-machine mesh-up must not report transport failures.
+	for rank := range logs {
+		for _, kind := range []TCPEventKind{EvHandshakeErr, EvWriteErr} {
+			if n := logs[rank].count(kind); n != 0 {
+				t.Errorf("rank %d recorded %d %v events on a clean mesh-up", rank, n, kind)
+			}
+		}
+	}
+}
+
+// TestTCPEventsWriteErr: a frame write on a dead connection must emit
+// EvWriteErr naming the destination before Send returns the error.
+func TestTCPEventsWriteErr(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var log eventLog
+	comms := make([]Comm, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for rank := 0; rank < 2; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			opts := &TCPOptions{DialTimeout: 5 * time.Second}
+			if rank == 0 {
+				opts.OnEvent = log.record
+			}
+			comms[rank], errs[rank] = ConnectTCP(rank, 2, addrs, opts)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		defer comms[rank].Close()
+	}
+
+	// Kill the underlying socket out from under rank 0, then Send: the
+	// frame write must fail and be reported.
+	c0 := comms[0].(*tcpComm)
+	c0.conns[1].conn.Close()
+	if err := c0.Send(1, 7, []byte("doomed")); err == nil {
+		t.Fatal("Send on a closed connection succeeded")
+	}
+	ev, found := log.find(EvWriteErr)
+	if !found {
+		t.Fatal("no EvWriteErr recorded for the failed Send")
+	}
+	if ev.Peer != 1 || ev.Err == nil {
+		t.Errorf("EvWriteErr = %+v, want Peer 1 and a non-nil Err", ev)
+	}
+}
+
+// TestTCPEventKindString: the String form is what ends up in logs and
+// metric keys; lock the names.
+func TestTCPEventKindString(t *testing.T) {
+	want := map[TCPEventKind]string{
+		EvDialRetry:    "dial-retry",
+		EvDialOK:       "dial-ok",
+		EvAcceptOK:     "accept-ok",
+		EvHandshakeErr: "handshake-err",
+		EvWriteErr:     "write-err",
+	}
+	for kind, name := range want {
+		if got := kind.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", kind, got, name)
+		}
+	}
+	if got := TCPEventKind(99).String(); got == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}

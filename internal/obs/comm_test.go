@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mp"
+)
+
+// ringTraffic runs a small all-pairs exchange on an in-process world with
+// every rank double-wrapped: InstrumentComm outside, mp.WithCounters
+// inside. Both layers see the exact same completed operations, so the
+// snapshots must agree — the cross-check the acceptance criteria ask for.
+func ringTraffic(t *testing.T, size int) ([]*CommMetrics, []*mp.CountingComm) {
+	t.Helper()
+	world, comms, err := mp.NewWorld(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	metrics := make([]*CommMetrics, size)
+	counting := make([]*mp.CountingComm, size)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for rank := 0; rank < size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			counting[rank] = mp.WithCounters(comms[rank])
+			metrics[rank] = NewCommMetrics(rank, size)
+			c := InstrumentComm(counting[rank], metrics[rank])
+			defer c.Close()
+
+			// Blocking sends to every other rank, sized by destination.
+			for dst := 0; dst < size; dst++ {
+				if dst == rank {
+					continue
+				}
+				payload := bytes.Repeat([]byte{byte(rank)}, 10+dst)
+				if err := c.Send(dst, rank, payload); err != nil {
+					errs[rank] = err
+					return
+				}
+			}
+			// Non-blocking receives from every other rank, completed by Wait.
+			reqs := make([]mp.Request, 0, size-1)
+			for src := 0; src < size; src++ {
+				if src == rank {
+					continue
+				}
+				req, err := c.Irecv(src, src, make([]byte, 64))
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				reqs = append(reqs, req)
+			}
+			if err := mp.WaitAll(reqs...); err != nil {
+				errs[rank] = err
+				return
+			}
+			errs[rank] = c.Barrier()
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return metrics, counting
+}
+
+func TestInstrumentCommMatchesCounters(t *testing.T) {
+	const size = 4
+	metrics, counting := ringTraffic(t, size)
+	for rank := 0; rank < size; rank++ {
+		snap := metrics[rank].Snapshot()
+		ref := counting[rank].C.Snapshot()
+		if snap.SendMsgs != ref.SendMsgs || snap.SendBytes != ref.SendBytes ||
+			snap.RecvMsgs != ref.RecvMsgs || snap.RecvBytes != ref.RecvBytes ||
+			snap.Barriers != ref.Barriers {
+			t.Errorf("rank %d: snapshot %+v disagrees with CountingComm %+v", rank, snap, ref)
+		}
+		// Per-peer detail: rank sent 10+dst bytes to each dst.
+		if len(snap.Peers) != size-1 {
+			t.Fatalf("rank %d: %d peers with traffic, want %d", rank, len(snap.Peers), size-1)
+		}
+		for _, p := range snap.Peers {
+			if p.SendMsgs != 1 || p.SendBytes != int64(10+p.Peer) {
+				t.Errorf("rank %d -> %d: send %d msgs / %d bytes, want 1 / %d",
+					rank, p.Peer, p.SendMsgs, p.SendBytes, 10+p.Peer)
+			}
+			if p.RecvMsgs != 1 || p.RecvBytes != int64(10+rank) {
+				t.Errorf("rank %d <- %d: recv %d msgs / %d bytes, want 1 / %d",
+					rank, p.Peer, p.RecvMsgs, p.RecvBytes, 10+rank)
+			}
+		}
+		// Every Wait and the Barrier passed through the histogram.
+		wantWaits := int64(size) // size-1 request Waits + 1 barrier
+		if snap.WaitCount != wantWaits {
+			t.Errorf("rank %d: %d waits recorded, want %d", rank, snap.WaitCount, wantWaits)
+		}
+		var histTotal int64
+		for _, b := range snap.WaitHist {
+			histTotal += b.Count
+		}
+		if histTotal != snap.WaitCount {
+			t.Errorf("rank %d: histogram holds %d waits, count says %d", rank, histTotal, snap.WaitCount)
+		}
+	}
+}
+
+func TestWaitBucketBounds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0}, {-time.Second, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1024, 10}, {time.Duration(1) << 50, waitBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := waitBucket(tc.d); got != tc.want {
+			t.Errorf("waitBucket(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestCommMetricsTCPEvents(t *testing.T) {
+	m := NewCommMetrics(0, 2)
+	for i := 0; i < 3; i++ {
+		m.TCPEvent(mp.TCPEvent{Kind: mp.EvDialRetry, Peer: 1, Attempt: i, Err: io.EOF})
+	}
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvDialOK, Peer: 1, Attempt: 3})
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvAcceptOK, Peer: 1})
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvHandshakeErr, Peer: -1, Err: io.EOF})
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvWriteErr, Peer: 1, Err: io.EOF})
+	got := m.Snapshot().TCP
+	want := TCPCounts{DialRetries: 3, DialOKs: 1, AcceptOKs: 1, HandshakeErrs: 1, WriteErrs: 1}
+	if got != want {
+		t.Errorf("TCP counts = %+v, want %+v", got, want)
+	}
+}
+
+// TestRegistryServe spins up the metrics endpoint on a loopback port and
+// checks all three surfaces: /metrics.json round-trips the snapshot,
+// /debug/vars carries the published "tilecomm" variable, and
+// /debug/pprof/ answers.
+func TestRegistryServe(t *testing.T) {
+	metrics, _ := ringTraffic(t, 2)
+	reg := NewRegistry()
+	for _, m := range metrics {
+		reg.Register(m)
+	}
+	addr, shutdown, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		return body
+	}
+
+	var dump struct {
+		Ranks []CommSnapshot `json:"ranks"`
+	}
+	if err := json.Unmarshal(get("/metrics.json"), &dump); err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	if len(dump.Ranks) != 2 || dump.Ranks[0].Rank != 0 || dump.Ranks[1].Rank != 1 {
+		t.Fatalf("metrics.json ranks = %+v", dump.Ranks)
+	}
+	for _, s := range dump.Ranks {
+		if s.SendMsgs != 1 || s.RecvMsgs != 1 {
+			t.Errorf("rank %d: %d sends / %d recvs over HTTP, want 1 / 1", s.Rank, s.SendMsgs, s.RecvMsgs)
+		}
+	}
+	if vars := string(get("/debug/vars")); !strings.Contains(vars, `"tilecomm"`) {
+		t.Error("/debug/vars does not carry the tilecomm variable")
+	}
+	if prof := string(get("/debug/pprof/")); !strings.Contains(prof, "goroutine") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+
+	// WriteJSON (the teardown dump) must match what the endpoint served.
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump2 struct {
+		Ranks []CommSnapshot `json:"ranks"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump2); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump2.Ranks) != len(dump.Ranks) {
+		t.Errorf("teardown dump has %d ranks, endpoint served %d", len(dump2.Ranks), len(dump.Ranks))
+	}
+}
+
+// TestRegistryPublishTwice: Publish from two registries must not panic
+// (expvar forbids duplicate names); the latest registry wins.
+func TestRegistryPublishTwice(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Publish()
+	b.Publish()
+	m := NewCommMetrics(7, 8)
+	b.Register(m)
+	snaps := b.Snapshot()
+	if len(snaps) != 1 || snaps[0].Rank != 7 {
+		t.Errorf("snapshot = %+v", snaps)
+	}
+}

@@ -1,0 +1,384 @@
+// Package obs is the unified observability layer shared by the simulated
+// and the real execution paths of the reproduction.
+//
+// The paper's whole argument is about where time goes: eq. 4 decomposes
+// every tile step into CPU-resident terms (A1 fill-MPI-send, A2 compute,
+// A3 fill-MPI-recv) and communication terms (B1 wire-rx, B2/B3 kernel
+// copies, B4 wire-tx), and the overlapped schedule wins exactly when the
+// B side hides behind the A side. This package turns both execution
+// substrates into numbers that make that argument checkable:
+//
+//   - Simulator side (this file): Analyze aggregates the per-activity
+//     interval log of a simnet run into a Report — busy/idle/queue-wait per
+//     CPU and NIC port, the cluster-wide overlap efficiency
+//     (hidden-communication-time / total-communication-time), and the fault
+//     counters (retransmits, pauses) attached by internal/sim. The paper's
+//     "100% processor utilization" claim and the question "what fraction of
+//     the wire time did the schedule actually hide?" both read directly off
+//     a Report.
+//
+//   - Runtime side (comm.go, server.go): InstrumentComm wraps any mp.Comm
+//     with per-peer traffic counters, blocking-wait histograms and TCP
+//     dial/retry/error counters, exposed over expvar + net/http/pprof and
+//     dumpable as a JSON snapshot at teardown.
+//
+// OBSERVABILITY.md documents every metric and maps it back to the paper's
+// A1–A3/B1–B4 terms.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/simnet"
+)
+
+// ResourceKind classifies a simulated resource for phase accounting.
+type ResourceKind int
+
+const (
+	// KindCPU is a processor's CPU: everything it runs is A-side (or a
+	// kernel copy demoted to the CPU on DMA-less hardware).
+	KindCPU ResourceKind = iota
+	// KindNIC is a half-duplex communication channel shared by rx and tx
+	// (the CapNone/CapDMA node model).
+	KindNIC
+	// KindNICIn is a dedicated receive port (CapFullDuplex).
+	KindNICIn
+	// KindNICOut is a dedicated transmit port (CapFullDuplex).
+	KindNICOut
+	// KindBus is the single shared medium of the SharedBus interconnect.
+	KindBus
+	// KindOther is a resource the classifier does not recognize; it gets
+	// per-resource stats but takes no part in the overlap accounting.
+	KindOther
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case KindCPU:
+		return "cpu"
+	case KindNIC:
+		return "nic"
+	case KindNICIn:
+		return "rx"
+	case KindNICOut:
+		return "tx"
+	case KindBus:
+		return "bus"
+	default:
+		return "other"
+	}
+}
+
+// comm reports whether busy time on this kind of resource counts as
+// communication time in the overlap accounting.
+func (k ResourceKind) comm() bool {
+	switch k {
+	case KindNIC, KindNICIn, KindNICOut, KindBus:
+		return true
+	default:
+		return false
+	}
+}
+
+// Interval is one activity execution on a serial resource: it became ready
+// at Ready (all dataflow predecessors done), started at Start ≥ Ready after
+// queueing behind the resource, and finished at End.
+type Interval struct {
+	Ready, Start, End float64
+}
+
+// Track is one resource's full execution history.
+type Track struct {
+	Name string
+	Kind ResourceKind
+	// Node is the owning processor's rank, or -1 for shared resources (the
+	// bus) and unclassified ones.
+	Node int64
+	// Intervals must be non-overlapping (the resource is serial); Analyze
+	// sorts them by start time.
+	Intervals []Interval
+}
+
+// ResourceStats is the per-resource row of a Report. The accounting identity
+// Busy + Idle == Makespan holds exactly for every resource in the form
+// Idle == Makespan − Busy: Idle is defined as that float64 subtraction, so
+// the equality is bit-exact with no tolerance. (The re-added sum Busy + Idle
+// can still round one ulp away from Makespan when the operands tie at a
+// half-ulp; assert the subtraction form.)
+type ResourceStats struct {
+	Name string
+	Kind ResourceKind
+	Node int64
+	// Busy is the total time the resource executed activities.
+	Busy float64
+	// Idle is Makespan − Busy (exactly): the time the resource sat
+	// unoccupied.
+	Idle float64
+	// QueueWait sums, over the activities this resource ran, the time each
+	// spent ready but blocked behind the resource (Start − Ready) — the
+	// contention the schedule induced on this resource.
+	QueueWait float64
+	// Activities is how many activities the resource executed.
+	Activities int
+}
+
+// Report is the phase accounting of one simulated schedule.
+type Report struct {
+	Makespan float64
+	// Resources lists per-resource stats: CPUs first (by node), then NIC
+	// ports (by node, rx before tx), then the bus, then unclassified.
+	Resources []ResourceStats
+	// CPUBusy is total busy time across CPU resources (the A side plus any
+	// kernel copies demoted to CPUs on DMA-less hardware).
+	CPUBusy float64
+	// CommBusy is total busy time across NIC ports and the bus (the B side:
+	// wire occupancy, DMA kernel copies, retransmission timeouts).
+	CommBusy float64
+	// HiddenComm is the portion of CommBusy during which the owning node's
+	// CPU was simultaneously busy — communication the schedule overlapped
+	// with computation. Bus time is hidden while any CPU is busy.
+	HiddenComm float64
+	// OverlapEfficiency = HiddenComm / CommBusy: 1.0 means every
+	// communication second hid behind computation, 0 means all of it was
+	// exposed. Zero when the schedule communicates nothing.
+	OverlapEfficiency float64
+	// MeanCPUUtilization is CPUBusy / (Makespan × #CPUs) — the quantity the
+	// paper's Section 4 pushes toward 1 for the overlapped schedule.
+	MeanCPUUtilization float64
+
+	// Fault counters, attached by internal/sim when a fault plan is active.
+	// Retransmits counts lost transmission attempts that were re-sent,
+	// Pauses counts transient node pauses injected into CPU program order.
+	Retransmits int
+	Pauses      int
+	// LinkRetransmits breaks Retransmits down per directed processor pair
+	// ("p2->p5"). Nil when no retransmission occurred.
+	LinkRetransmits map[string]int
+}
+
+// trackOrder ranks tracks for the canonical Resources ordering.
+func trackOrder(k ResourceKind) int {
+	switch k {
+	case KindCPU:
+		return 0
+	case KindNIC, KindNICIn:
+		return 1
+	case KindNICOut:
+		return 2
+	case KindBus:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Analyze computes the phase accounting of one simulated run: per-resource
+// busy/idle/queue-wait and the cluster-wide overlap efficiency. The tracks
+// may arrive in any order; the Report's rows come out in canonical order
+// (CPUs, NIC ports, bus). Analyze is deterministic: the same tracks produce
+// a bit-identical Report.
+func Analyze(makespan float64, tracks []Track) *Report {
+	r := &Report{Makespan: makespan}
+	ts := make([]Track, len(tracks))
+	copy(ts, tracks)
+	sort.SliceStable(ts, func(i, j int) bool {
+		oi, oj := trackOrder(ts[i].Kind), trackOrder(ts[j].Kind)
+		if oi != oj {
+			return oi < oj
+		}
+		return ts[i].Node < ts[j].Node
+	})
+
+	// Per-node CPU busy intervals, for the overlap pass.
+	cpuBusy := map[int64][]Interval{}
+	numCPUs := 0
+	for i := range ts {
+		tr := &ts[i]
+		sort.SliceStable(tr.Intervals, func(a, b int) bool {
+			return tr.Intervals[a].Start < tr.Intervals[b].Start
+		})
+		st := ResourceStats{Name: tr.Name, Kind: tr.Kind, Node: tr.Node}
+		for _, iv := range tr.Intervals {
+			st.Busy += iv.End - iv.Start
+			if w := iv.Start - iv.Ready; w > 0 {
+				st.QueueWait += w
+			}
+			st.Activities++
+		}
+		st.Idle = makespan - st.Busy
+		r.Resources = append(r.Resources, st)
+		switch {
+		case tr.Kind == KindCPU:
+			r.CPUBusy += st.Busy
+			cpuBusy[tr.Node] = tr.Intervals
+			numCPUs++
+		case tr.Kind.comm():
+			r.CommBusy += st.Busy
+		}
+	}
+
+	// allCPU is the union of every CPU's busy intervals — what bus
+	// occupancy is overlapped against (the bus serves the whole cluster).
+	var allCPU []Interval
+	if len(cpuBusy) > 0 {
+		var merged []Interval
+		for _, ivs := range cpuBusy {
+			merged = append(merged, ivs...)
+		}
+		sort.SliceStable(merged, func(a, b int) bool { return merged[a].Start < merged[b].Start })
+		allCPU = union(merged)
+	}
+
+	for i := range ts {
+		tr := &ts[i]
+		if !tr.Kind.comm() {
+			continue
+		}
+		against := allCPU
+		if tr.Kind != KindBus {
+			against = cpuBusy[tr.Node]
+		}
+		r.HiddenComm += overlap(tr.Intervals, against)
+	}
+	if r.CommBusy > 0 {
+		r.OverlapEfficiency = r.HiddenComm / r.CommBusy
+	}
+	if makespan > 0 && numCPUs > 0 {
+		r.MeanCPUUtilization = r.CPUBusy / (makespan * float64(numCPUs))
+	}
+	return r
+}
+
+// union merges a start-sorted interval list into a disjoint cover.
+func union(ivs []Interval) []Interval {
+	var out []Interval
+	for _, iv := range ivs {
+		if n := len(out); n > 0 && iv.Start <= out[n-1].End {
+			if iv.End > out[n-1].End {
+				out[n-1].End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// overlap returns the total time the intervals of a spend inside the
+// intervals of b. Both lists must be start-sorted; b must be disjoint
+// (a union or a serial resource's history).
+func overlap(a, b []Interval) float64 {
+	total := 0.0
+	j := 0
+	for _, x := range a {
+		for j > 0 && b[j-1].End > x.Start {
+			j-- // a's intervals may share starts; rewind conservatively
+		}
+		for ; j < len(b) && b[j].End <= x.Start; j++ {
+		}
+		for k := j; k < len(b) && b[k].Start < x.End; k++ {
+			lo, hi := b[k].Start, b[k].End
+			if x.Start > lo {
+				lo = x.Start
+			}
+			if x.End < hi {
+				hi = x.End
+			}
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// classify parses a simulated resource name as emitted by the sim builder
+// ("cpu3", "comm3", "rx3", "tx3", "bus").
+func classify(name string) (ResourceKind, int64) {
+	for _, p := range []struct {
+		prefix string
+		kind   ResourceKind
+	}{{"cpu", KindCPU}, {"comm", KindNIC}, {"rx", KindNICIn}, {"tx", KindNICOut}} {
+		if rest, ok := strings.CutPrefix(name, p.prefix); ok {
+			if n, err := strconv.ParseInt(rest, 10, 64); err == nil {
+				return p.kind, n
+			}
+		}
+	}
+	if name == "bus" {
+		return KindBus, -1
+	}
+	return KindOther, -1
+}
+
+// TracksFromTrace rebuilds per-resource tracks from a labeled simulation
+// trace (a traced run's simnet.Result.Trace), classifying resources by
+// their builder-given names. It is the bridge for callers that already hold
+// a full trace; metric-only simulations use the engine's interval log
+// instead (see internal/sim).
+func TracksFromTrace(entries []simnet.TraceEntry) []Track {
+	idx := map[string]int{}
+	var tracks []Track
+	for _, e := range entries {
+		i, ok := idx[e.Resource]
+		if !ok {
+			kind, node := classify(e.Resource)
+			i = len(tracks)
+			idx[e.Resource] = i
+			tracks = append(tracks, Track{Name: e.Resource, Kind: kind, Node: node})
+		}
+		tracks[i].Intervals = append(tracks[i].Intervals,
+			Interval{Ready: e.Ready, Start: e.Start, End: e.End})
+	}
+	return tracks
+}
+
+// WriteText renders the report as an aligned text table: one row per
+// resource plus the cluster-level summary lines.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-8s %12s %12s %12s %8s %6s\n",
+		"resource", "busy(s)", "idle(s)", "queue(s)", "busy%", "acts"); err != nil {
+		return err
+	}
+	for _, st := range r.Resources {
+		pct := 0.0
+		if r.Makespan > 0 {
+			pct = 100 * st.Busy / r.Makespan
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %12.6f %12.6f %12.6f %7.1f%% %6d\n",
+			st.Name, st.Busy, st.Idle, st.QueueWait, pct, st.Activities); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"makespan %.6fs | cpu-busy %.6fs (mean util %.1f%%) | comm-busy %.6fs\n",
+		r.Makespan, r.CPUBusy, 100*r.MeanCPUUtilization, r.CommBusy); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"overlap efficiency %.1f%% (hidden %.6fs of %.6fs comm)\n",
+		100*r.OverlapEfficiency, r.HiddenComm, r.CommBusy); err != nil {
+		return err
+	}
+	if r.Retransmits > 0 || r.Pauses > 0 {
+		links := make([]string, 0, len(r.LinkRetransmits))
+		for k := range r.LinkRetransmits {
+			links = append(links, k)
+		}
+		sort.Strings(links)
+		var b strings.Builder
+		for _, k := range links {
+			fmt.Fprintf(&b, " %s×%d", k, r.LinkRetransmits[k])
+		}
+		if _, err := fmt.Fprintf(w, "faults: %d retransmits, %d pauses%s\n",
+			r.Retransmits, r.Pauses, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// twoNodeTracks models a tiny cluster: cpu0 busy [0,4] and [6,8], its NIC
+// transmitting [2,5] (2s hidden behind cpu0, 1s exposed), cpu1 busy [1,3],
+// its NIC receiving [5,7] (fully exposed — cpu1 is idle then), and a bus
+// occupied [2,3] (hidden: some CPU is busy throughout).
+func twoNodeTracks() []Track {
+	return []Track{
+		{Name: "tx0", Kind: KindNICOut, Node: 0, Intervals: []Interval{{Ready: 2, Start: 2, End: 5}}},
+		{Name: "cpu0", Kind: KindCPU, Node: 0, Intervals: []Interval{{0, 0, 4}, {4, 6, 8}}},
+		{Name: "cpu1", Kind: KindCPU, Node: 1, Intervals: []Interval{{0, 1, 3}}},
+		{Name: "rx1", Kind: KindNICIn, Node: 1, Intervals: []Interval{{5, 5, 7}}},
+		{Name: "bus", Kind: KindBus, Node: -1, Intervals: []Interval{{2, 2, 3}}},
+	}
+}
+
+func TestAnalyzeAccountingIdentity(t *testing.T) {
+	const makespan = 8.0
+	r := Analyze(makespan, twoNodeTracks())
+	if len(r.Resources) != 5 {
+		t.Fatalf("got %d resource rows, want 5", len(r.Resources))
+	}
+	for _, st := range r.Resources {
+		if st.Busy+st.Idle != makespan {
+			t.Errorf("%s: busy %g + idle %g != makespan %g", st.Name, st.Busy, st.Idle, makespan)
+		}
+	}
+	// Canonical ordering: CPUs by node, then NIC ports, then bus.
+	wantOrder := []string{"cpu0", "cpu1", "rx1", "tx0", "bus"}
+	for i, st := range r.Resources {
+		if st.Name != wantOrder[i] {
+			t.Errorf("resource[%d] = %s, want %s", i, st.Name, wantOrder[i])
+		}
+	}
+}
+
+func TestAnalyzeOverlap(t *testing.T) {
+	r := Analyze(8, twoNodeTracks())
+	// CPU busy: cpu0 (4+2) + cpu1 (2) = 8.
+	if r.CPUBusy != 8 {
+		t.Errorf("CPUBusy = %g, want 8", r.CPUBusy)
+	}
+	// Comm busy: tx0 3s + rx1 2s + bus 1s = 6.
+	if r.CommBusy != 6 {
+		t.Errorf("CommBusy = %g, want 6", r.CommBusy)
+	}
+	// Hidden: tx0 [2,5] vs cpu0 [0,4]∪[6,8] → 2s; rx1 [5,7] vs cpu1 [1,3]
+	// → 0s; bus [2,3] vs any-CPU busy ([0,4]∪[6,8]) → 1s. Total 3.
+	if r.HiddenComm != 3 {
+		t.Errorf("HiddenComm = %g, want 3", r.HiddenComm)
+	}
+	if r.OverlapEfficiency != 0.5 {
+		t.Errorf("OverlapEfficiency = %g, want 0.5", r.OverlapEfficiency)
+	}
+	// Mean CPU utilization: 8 busy / (8s × 2 CPUs) = 0.5.
+	if r.MeanCPUUtilization != 0.5 {
+		t.Errorf("MeanCPUUtilization = %g, want 0.5", r.MeanCPUUtilization)
+	}
+}
+
+func TestAnalyzeQueueWait(t *testing.T) {
+	tracks := []Track{
+		{Name: "cpu0", Kind: KindCPU, Node: 0, Intervals: []Interval{
+			{Ready: 0, Start: 0, End: 2},
+			{Ready: 0, Start: 2, End: 3}, // queued 2s behind the first
+		}},
+	}
+	r := Analyze(3, tracks)
+	if r.Resources[0].QueueWait != 2 {
+		t.Errorf("QueueWait = %g, want 2", r.Resources[0].QueueWait)
+	}
+	if r.Resources[0].Activities != 2 {
+		t.Errorf("Activities = %d, want 2", r.Resources[0].Activities)
+	}
+}
+
+func TestAnalyzeNoComm(t *testing.T) {
+	r := Analyze(4, []Track{
+		{Name: "cpu0", Kind: KindCPU, Node: 0, Intervals: []Interval{{0, 0, 4}}},
+	})
+	if r.OverlapEfficiency != 0 || r.CommBusy != 0 {
+		t.Errorf("comm-free schedule: eff %g comm %g, want 0 0", r.OverlapEfficiency, r.CommBusy)
+	}
+	if r.MeanCPUUtilization != 1 {
+		t.Errorf("util = %g, want 1", r.MeanCPUUtilization)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(0, nil)
+	if r.OverlapEfficiency != 0 || r.MeanCPUUtilization != 0 || len(r.Resources) != 0 {
+		t.Errorf("empty analysis not zeroed: %+v", r)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	got := union([]Interval{{0, 0, 2}, {0, 1, 3}, {0, 3, 4}, {0, 6, 7}})
+	want := []Interval{{0, 0, 4}, {0, 6, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].Start != want[i].Start || got[i].End != want[i].End {
+			t.Errorf("union[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOverlapPartial(t *testing.T) {
+	a := []Interval{{0, 1, 5}}
+	b := []Interval{{0, 0, 2}, {0, 3, 4}, {0, 4.5, 10}}
+	// [1,5] ∩ ([0,2]∪[3,4]∪[4.5,10]) = [1,2] + [3,4] + [4.5,5] = 2.5
+	if got := overlap(a, b); got != 2.5 {
+		t.Errorf("overlap = %g, want 2.5", got)
+	}
+	if got := overlap(a, nil); got != 0 {
+		t.Errorf("overlap vs empty = %g, want 0", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		kind ResourceKind
+		node int64
+	}{
+		{"cpu0", KindCPU, 0}, {"cpu15", KindCPU, 15},
+		{"comm3", KindNIC, 3}, {"rx2", KindNICIn, 2}, {"tx7", KindNICOut, 7},
+		{"bus", KindBus, -1}, {"weird", KindOther, -1}, {"cpuX", KindOther, -1},
+	}
+	for _, c := range cases {
+		k, n := classify(c.name)
+		if k != c.kind || n != c.node {
+			t.Errorf("classify(%q) = (%v, %d), want (%v, %d)", c.name, k, n, c.kind, c.node)
+		}
+	}
+}
+
+func TestTracksFromTrace(t *testing.T) {
+	entries := []simnet.TraceEntry{
+		{Resource: "cpu0", Label: "compute", Start: 0, End: 2, Ready: 0},
+		{Resource: "comm0", Label: "wire-tx", Start: 2, End: 3, Ready: 2},
+		{Resource: "cpu0", Label: "compute", Start: 2, End: 4, Ready: 1},
+	}
+	tracks := TracksFromTrace(entries)
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(tracks))
+	}
+	if tracks[0].Name != "cpu0" || tracks[0].Kind != KindCPU || len(tracks[0].Intervals) != 2 {
+		t.Errorf("cpu track wrong: %+v", tracks[0])
+	}
+	if tracks[1].Name != "comm0" || tracks[1].Kind != KindNIC || tracks[1].Node != 0 {
+		t.Errorf("comm track wrong: %+v", tracks[1])
+	}
+	if iv := tracks[0].Intervals[1]; iv.Ready != 1 || iv.Start != 2 || iv.End != 4 {
+		t.Errorf("interval not carried over: %+v", iv)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := Analyze(8, twoNodeTracks())
+	r.Retransmits = 3
+	r.Pauses = 1
+	r.LinkRetransmits = map[string]int{"p0->p1": 3}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cpu0", "bus", "overlap efficiency 50.0%",
+		"3 retransmits", "1 pauses", "p0->p1×3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+}

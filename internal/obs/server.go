@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry aggregates the CommMetrics of every rank hosted by this process
+// (one for a real tilenode, several for an in-process cluster) behind a
+// single snapshot, expvar variable, and HTTP endpoint.
+type Registry struct {
+	mu    sync.Mutex
+	ranks map[int]*CommMetrics
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ranks: make(map[int]*CommMetrics)}
+}
+
+// Register adds (or replaces) the collector for its rank.
+func (r *Registry) Register(m *CommMetrics) {
+	r.mu.Lock()
+	r.ranks[m.rank] = m
+	r.mu.Unlock()
+}
+
+// Snapshot returns one CommSnapshot per registered rank, ordered by rank.
+func (r *Registry) Snapshot() []CommSnapshot {
+	r.mu.Lock()
+	metrics := make([]*CommMetrics, 0, len(r.ranks))
+	for _, m := range r.ranks {
+		metrics = append(metrics, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].rank < metrics[j].rank })
+	out := make([]CommSnapshot, len(metrics))
+	for i, m := range metrics {
+		out[i] = m.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the registry snapshot as indented JSON — the teardown
+// dump format and the /metrics.json response body.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Ranks []CommSnapshot `json:"ranks"`
+	}{r.Snapshot()})
+}
+
+// expvar.Publish panics on duplicate names and offers no unpublish, so the
+// process-wide "tilecomm" variable is published once and indirects through
+// an atomic pointer to whichever registry called Publish most recently.
+var (
+	publishOnce  sync.Once
+	publishedReg atomic.Pointer[Registry]
+)
+
+// Publish makes this registry the source of the process-wide "tilecomm"
+// expvar variable (shown under /debug/vars). Safe to call repeatedly and
+// from multiple registries; the latest call wins.
+func (r *Registry) Publish() {
+	publishedReg.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish("tilecomm", expvar.Func(func() any {
+			if reg := publishedReg.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Serve starts an HTTP server on addr (host:port; use ":0" for an
+// OS-assigned port) exposing
+//
+//	/debug/vars     expvar, including the "tilecomm" registry snapshot
+//	/debug/pprof/   live profiling (net/http/pprof)
+//	/metrics.json   the registry snapshot alone, indented
+//
+// It returns the bound address and a shutdown function. The registry is
+// Published as a side effect.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	r.Publish()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -44,6 +44,14 @@ type builder struct {
 	// pending holds consumption edges whose producing message had not been
 	// issued yet at construction time.
 	pending []pendingEdge
+
+	// Fault counters for the metrics report, tallied during construction
+	// (the perturbations are deterministic, so build-time counts equal
+	// run-time counts). linkRetx is keyed fromProc*numProcs+toProc and
+	// allocated lazily — fault-free builds never touch it.
+	retransmits int
+	pauseCount  int
+	linkRetx    map[int64]int
 }
 
 // tileInfo is the precomputed per-tile record the emission passes run on,
@@ -114,6 +122,7 @@ func (b *builder) procRank(tc ilmath.Vec) int64 {
 func (b *builder) build() error {
 	b.eng.KeepTrace(b.trace)
 	b.eng.KeepUtilization(b.trace)
+	b.eng.KeepIntervals(b.cfg.Metrics)
 	b.makeNodes()
 	b.collectMessages()
 	// Pre-size the engine: each tile emits one compute plus a few activities
@@ -326,6 +335,7 @@ func (b *builder) pause(p, s int64, chain func(int64, *simnet.Activity) *simnet.
 		return
 	}
 	if d := b.fp.Pause(p, s); d > 0 {
+		b.pauseCount++
 		chain(p, b.eng.NewActivity(b.nodes[p].cpu, d, b.plabel(p, s)))
 	}
 }
@@ -549,6 +559,13 @@ func (b *builder) wire(m *message, pred *simnet.Activity) *simnet.Activity {
 	resends := 0
 	if b.fp != nil {
 		resends = b.fp.Resends(m.fromRank, m.toRank)
+		if resends > 0 {
+			b.retransmits += resends
+			if b.linkRetx == nil {
+				b.linkRetx = make(map[int64]int)
+			}
+			b.linkRetx[m.fromProc*b.numProcs+m.toProc] += resends
+		}
 	}
 	var b4, prev *simnet.Activity
 	for attempt := 0; attempt <= resends; attempt++ {

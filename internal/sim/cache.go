@@ -20,6 +20,8 @@ type cacheKey struct {
 	cap     Capability
 	net     Network
 	fault   fault.Plan
+	metrics bool
+	trace   bool
 }
 
 // Cache memoizes grid simulation results keyed on (grid, V, machine, mode,
@@ -64,10 +66,20 @@ func (c *Cache) SimulateGridNet(g model.Grid3D, v int64, m model.Machine, mode M
 // fault-free request through this path shares its cache entry — and its
 // byte-identical result — with the plain SimulateGrid path.
 func (c *Cache) SimulateGridFault(g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, net Network, fp fault.Plan) (Result, error) {
-	if !fp.Active() {
-		fp = fault.Plan{}
+	return c.SimulateGridWith(g, v, m, mode, cap, GridOpts{Net: net, Fault: fp})
+}
+
+// SimulateGridWith is the memoized SimulateGridWith. The metrics and trace
+// flags are part of the cache key — those Results carry the extra Obs report
+// / labeled trace, so they cannot share an entry with the plain one — and
+// cache hits return the same *obs.Report pointer and Trace slice, which
+// callers must treat as read-only.
+func (c *Cache) SimulateGridWith(g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, o GridOpts) (Result, error) {
+	if !o.Fault.Active() {
+		o.Fault = fault.Plan{}
 	}
-	key := cacheKey{grid: g, v: v, machine: m, mode: mode, cap: cap, net: net, fault: fp}
+	key := cacheKey{grid: g, v: v, machine: m, mode: mode, cap: cap, net: o.Net,
+		fault: o.Fault, metrics: o.Metrics, trace: o.Trace}
 	c.mu.RLock()
 	r, ok := c.m[key]
 	c.mu.RUnlock()
@@ -78,10 +90,13 @@ func (c *Cache) SimulateGridFault(g model.Grid3D, v int64, m model.Machine, mode
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Network = net
-	if fp.Active() {
+	cfg.Network = o.Net
+	if o.Fault.Active() {
+		fp := o.Fault
 		cfg.Fault = &fp
 	}
+	cfg.Metrics = o.Metrics
+	cfg.Trace = o.Trace
 	sm := c.pool.Get().(*Simulator)
 	r, err = sm.Simulate(cfg)
 	c.pool.Put(sm)

@@ -90,24 +90,39 @@ func SimulateGrid(c model.Grid3D, v int64, m model.Machine, mode Mode, cap Capab
 
 // SimulateGridNet is SimulateGrid with an explicit interconnect model.
 func SimulateGridNet(c model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, net Network) (Result, error) {
-	cfg, err := GridConfig(c, v, m, mode, cap)
-	if err != nil {
-		return Result{}, err
-	}
-	cfg.Network = net
-	return Simulate(cfg)
+	return SimulateGridWith(c, v, m, mode, cap, GridOpts{Net: net})
 }
 
 // SimulateGridFault is SimulateGridNet under a fault-injection plan. An
 // inactive plan leaves the result byte-identical to SimulateGridNet's.
 func SimulateGridFault(c model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, net Network, fp fault.Plan) (Result, error) {
+	return SimulateGridWith(c, v, m, mode, cap, GridOpts{Net: net, Fault: fp})
+}
+
+// GridOpts bundles the optional knobs of a grid simulation: the interconnect
+// model (zero value: switched), a fault plan (zero value: fault-free), the
+// phase-accounting metrics pass and the full labeled trace (both off by
+// default).
+type GridOpts struct {
+	Net     Network
+	Fault   fault.Plan
+	Metrics bool
+	Trace   bool
+}
+
+// SimulateGridWith is SimulateGrid with the full option set; the other
+// SimulateGrid* entry points are shorthands for common opt subsets.
+func SimulateGridWith(c model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, o GridOpts) (Result, error) {
 	cfg, err := GridConfig(c, v, m, mode, cap)
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.Network = net
-	if fp.Active() {
+	cfg.Network = o.Net
+	if o.Fault.Active() {
+		fp := o.Fault
 		cfg.Fault = &fp
 	}
+	cfg.Metrics = o.Metrics
+	cfg.Trace = o.Trace
 	return Simulate(cfg)
 }

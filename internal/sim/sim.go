@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ilmath"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/simnet"
 	"repro/internal/space"
@@ -137,10 +138,17 @@ type Config struct {
 	NodeSpeed func(rank int64) float64
 	// Fault optionally injects deterministic, seeded perturbations into
 	// the simulated cluster: CPU stragglers, link slowdowns, per-message
-	// wire jitter, message loss with timeout/backoff retransmission, and
+	// wire jitter, message loss with timeout/backoff retransmits, and
 	// transient node pauses. nil — or a plan with zero intensity — leaves
 	// the simulation byte-identical to the fault-free one.
 	Fault *fault.Plan
+	// Metrics enables the phase-accounting pass: the engine records a
+	// string-free per-activity interval log and Simulate aggregates it into
+	// Result.Obs (busy/idle/queue-wait per resource, overlap efficiency,
+	// fault counters). Cheaper than Trace — no labels are materialized —
+	// but still adds one log append per activity; sweeps leave it off
+	// unless they report the metrics.
+	Metrics bool
 }
 
 // Result of one simulation.
@@ -158,6 +166,11 @@ type Result struct {
 	// CritPath is the chain of activities fixing the makespan (populated
 	// only when Config.Trace is set); see simnet.CriticalPath.
 	CritPath []simnet.CritStep
+	// Obs is the phase-accounting report (populated only when
+	// Config.Metrics is set): per-resource busy/idle/queue-wait, overlap
+	// efficiency, and fault counters. Cached Results share one Report;
+	// treat it as read-only.
+	Obs *obs.Report
 }
 
 // Validate checks the configuration.
@@ -272,6 +285,9 @@ func (sm *Simulator) Simulate(cfg Config) (Result, error) {
 	}
 	if cfg.Trace {
 		out.CritPath = sm.eng.CriticalPath()
+	}
+	if cfg.Metrics {
+		out.Obs = b.obsReport(res.Makespan)
 	}
 	return out, nil
 }

@@ -100,6 +100,13 @@ type Engine struct {
 	keepTrace bool
 	skipUtil  bool
 	perturb   PerturbFunc
+
+	// intervals is the string-free activity log behind KeepIntervals. Unlike
+	// trace it is reused across Resets: callers consume it synchronously
+	// (Intervals is invalidated by the next Reset), so the backing array can
+	// be recycled instead of abandoned.
+	intervals     []Interval
+	keepIntervals bool
 }
 
 // PerturbFunc rescales an activity's nominal duration at registration time
@@ -116,6 +123,20 @@ type TraceEntry struct {
 	Label    string
 	Start    float64
 	End      float64
+	// Ready is when the activity's last dataflow predecessor finished (0 for
+	// chain heads): Start − Ready is how long it queued for its resource.
+	Ready float64
+}
+
+// Interval records one executed activity for metrics accounting: which
+// resource ran it and when. Unlike TraceEntry it carries no strings, so the
+// log stays cheap enough for untraced sweep simulations (see KeepIntervals).
+type Interval struct {
+	Res *Resource
+	// Ready is when the activity's last dataflow predecessor finished;
+	// Start − Ready is the time spent queued behind the resource.
+	Ready      float64
+	Start, End float64
 }
 
 // NewEngine returns an empty simulation.
@@ -135,7 +156,9 @@ func (e *Engine) Reset() {
 	if len(e.trace) > 0 {
 		e.trace = nil // the previous caller owns it now
 	}
+	e.intervals = e.intervals[:0]
 	e.keepTrace = false
+	e.keepIntervals = false
 	e.skipUtil = false
 	e.perturb = nil
 }
@@ -148,6 +171,18 @@ func (e *Engine) SetPerturb(f PerturbFunc) { e.perturb = f }
 // KeepTrace enables recording of a full execution trace (off by default to
 // keep large sweeps cheap).
 func (e *Engine) KeepTrace(on bool) { e.keepTrace = on }
+
+// KeepIntervals enables recording of the string-free per-activity interval
+// log (off by default). It is the cheap sibling of KeepTrace for metrics
+// accounting: no labels or resource names are materialized, and the backing
+// array is recycled across Resets. Read the log with Intervals after Run.
+func (e *Engine) KeepIntervals(on bool) { e.keepIntervals = on }
+
+// Intervals returns the interval log of the last Run (nil unless
+// KeepIntervals was on). The returned slice is owned by the engine and is
+// invalidated by the next Reset: callers must finish aggregating before
+// reusing the engine.
+func (e *Engine) Intervals() []Interval { return e.intervals }
 
 // KeepUtilization controls whether Run materializes the Result.Utilization
 // map (on by default). Sweep-style callers that read Resource.BusyTime
@@ -434,7 +469,10 @@ func (e *Engine) Run() (Result, error) {
 		r.lastAct = a
 		r.busyTime += a.Duration
 		if e.keepTrace {
-			e.trace = append(e.trace, TraceEntry{Resource: r.Name, Label: a.Label, Start: a.Start, End: a.End})
+			e.trace = append(e.trace, TraceEntry{Resource: r.Name, Label: a.Label, Start: a.Start, End: a.End, Ready: a.ready})
+		}
+		if e.keepIntervals {
+			e.intervals = append(e.intervals, Interval{Res: r, Ready: a.ready, Start: a.Start, End: a.End})
 		}
 		succs := e.succs(a)
 		for _, s := range succs {

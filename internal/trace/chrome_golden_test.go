@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestChromeTraceGolden locks the exporter's byte-exact output — field order,
+// number formatting, separators — against a checked-in golden file, so any
+// change to the emitted JSON shows up as a reviewable testdata diff (external
+// tooling may be parsing these files positionally). Run
+// `go test ./internal/trace -run ChromeTraceGolden -update` to regenerate
+// after an intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTimeline().ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace output drifted from golden file:\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+	// The golden bytes must also be schema-valid trace-event JSON: every
+	// event carries the required keys with the right types, metadata events
+	// name threads, complete events carry non-negative microsecond spans.
+	var events []map[string]any
+	if err := json.Unmarshal(want, &events); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			if e["name"] != "thread_name" {
+				t.Errorf("metadata event with name %v", e["name"])
+			}
+			args, ok := e["args"].(map[string]any)
+			if !ok || args["name"] == "" {
+				t.Errorf("metadata event lacks args.name: %v", e)
+			}
+		case "X":
+			if _, ok := e["name"].(string); !ok {
+				t.Errorf("complete event lacks a name: %v", e)
+			}
+			if ts, ok := e["ts"].(float64); !ok || ts < 0 {
+				t.Errorf("bad ts in %v", e)
+			}
+			if dur, ok := e["dur"].(float64); !ok || dur < 0 {
+				t.Errorf("bad dur in %v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %v in %v", e["ph"], e)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			if _, ok := e[key].(float64); !ok {
+				t.Errorf("event lacks numeric %s: %v", key, e)
+			}
+		}
+	}
+}

@@ -1,6 +1,11 @@
-// Package trace renders simulation timelines as ASCII Gantt charts and CSV,
-// visualizing the receive/compute/send structure of the two schedules
-// (the paper's Figs. 1 and 2).
+// Package trace renders simulation timelines in several formats: ASCII Gantt
+// charts and standalone SVG documents for quick inspection, CSV for external
+// plotting, the Chrome/Perfetto trace-event JSON format for interactive
+// exploration (ChromeTrace; `tilebench trace` is the CLI entry point), and a
+// per-phase busy-time breakdown (PhaseBreakdown) mirroring the paper's Fig. 4
+// decomposition. All of them visualize the receive/compute/send structure of
+// the two schedules (the paper's Figs. 1 and 2); aggregate phase accounting —
+// overlap efficiency, per-resource busy/idle — lives in internal/obs.
 package trace
 
 import (
@@ -23,8 +28,11 @@ func New(r simnet.Result) *Timeline {
 	return &Timeline{Entries: r.Trace, Makespan: r.Makespan}
 }
 
-// Resources returns the distinct resource names in first-appearance order,
-// then sorted for stability within kinds.
+// Resources returns the distinct resource names sorted lexicographically —
+// a deterministic order for identical entry sets, independent of appearance
+// order. Note the sort is plain string ordering, so "cpu10" precedes "cpu2";
+// every renderer in this package keys rows by name, and the obs package owns
+// numerically-aware ordering. Locked by TestResourcesLexicographic.
 func (t *Timeline) Resources() []string {
 	seen := map[string]bool{}
 	var names []string

@@ -36,6 +36,28 @@ func TestResources(t *testing.T) {
 	}
 }
 
+// TestResourcesLexicographic locks the documented ordering contract: plain
+// string sort, independent of first-appearance order, with multi-digit names
+// ordered lexicographically ("cpu10" before "cpu2").
+func TestResourcesLexicographic(t *testing.T) {
+	tl := &Timeline{Entries: []simnet.TraceEntry{
+		{Resource: "cpu2", Start: 0, End: 1},
+		{Resource: "cpu10", Start: 0, End: 1},
+		{Resource: "bus", Start: 1, End: 2},
+		{Resource: "cpu2", Start: 1, End: 2},
+	}}
+	got := tl.Resources()
+	want := []string{"bus", "cpu10", "cpu2"}
+	if len(got) != len(want) {
+		t.Fatalf("resources = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("resources[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
 func TestGanttRendering(t *testing.T) {
 	var buf bytes.Buffer
 	if err := sampleTimeline().Gantt(&buf, 40); err != nil {
