@@ -13,19 +13,20 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel sweep engine fans simulations out over goroutines, and the
-# TCP transport + spawn launcher are concurrency-heavy; these are the
-# packages that must stay clean under the race detector.
+# The whole tree must stay clean under the race detector: the sweep engine,
+# TCP transport, abort/heartbeat machinery and spawn launcher are all
+# concurrency-heavy, and races have a habit of hiding in the "safe" packages.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/simnet ./internal/mp ./internal/obs ./cmd/tilenode
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
 
 # Degradation sweep at a fixed seed: exercises the whole fault-injection
-# path end to end and fails if degradation is not graceful.
+# path end to end and fails if degradation is not graceful or the
+# retransmit-budget / deadline cross-check disagrees.
 fault-smoke:
-	$(GO) run ./cmd/tilebench -quick -fault-seed 7 -fault-intensity 1 fault-sweep
+	$(GO) run ./cmd/tilebench -quick -fault-seed 7 -fault-intensity 1 -deadline fault-sweep
 
 # Documentation hygiene: vet, gofmt-clean tree, and every markdown link and
 # anchor resolving (cmd/docscheck; offline, external URLs are skipped).

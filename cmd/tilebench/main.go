@@ -30,6 +30,7 @@ var (
 	memProfile     = flag.String("memprofile", "", "write a heap profile to this file after the runs")
 	faultSeed      = flag.Uint64("fault-seed", 1, "for fault-sweep: fault-injection seed")
 	faultIntensity = flag.Float64("fault-intensity", 1.0, "for fault-sweep: maximum fault intensity (0..1)")
+	faultDeadline  = flag.Bool("deadline", false, "for fault-sweep: add the retransmit-budget vs deadline cross-check table")
 	metricsFlag    = flag.Bool("metrics", false, "for fig9/fig10/fig11: add overlap-efficiency columns (phase-accounting pass)")
 	traceOut       = flag.String("o", "trace.json", "for trace: output path for the Chrome trace-event JSON")
 	traceMode      = flag.String("trace-mode", "overlapped", "for trace: which schedule to export (blocking | overlapped)")
@@ -38,7 +39,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|trace|all\n")
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-deadline] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|trace|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -287,6 +288,14 @@ func run(id string) error {
 			return err
 		}
 		fmt.Println("degradation check: GRACEFUL")
+		if *faultDeadline {
+			fmt.Print(experiments.FormatFaultDeadline(fs, rows))
+			if err := experiments.CheckDeadlineConsistency(rows); err != nil {
+				fmt.Println("deadline cross-check: INCONSISTENT")
+				return err
+			}
+			fmt.Println("deadline cross-check: CONSISTENT")
+		}
 		fmt.Println()
 		return nil
 	case "trace":

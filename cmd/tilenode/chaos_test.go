@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// TestMain doubles as the tilenode entry point for the chaos test's child
+// processes: when TILENODE_CHILD=1 the binary parses os.Args as tilenode
+// flags and runs a real rank instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("TILENODE_CHILD") == "1" {
+		if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "tilenode: %v\n", err)
+			os.Exit(2)
+		}
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "tilenode: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// child builds a tilenode child-process command with the given flags.
+func child(ctx context.Context, args ...string) *exec.Cmd {
+	cmd := exec.CommandContext(ctx, os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TILENODE_CHILD=1")
+	return cmd
+}
+
+// TestChaosKillAndRestore is the end-to-end crash drill: a 2-rank 2-D run
+// over real TCP processes is SIGKILLed on a (seeded-)random rank mid-run;
+// the surviving rank must detect the death and abort within its failure
+// deadline rather than hang; and a -restore run from the checkpoints the
+// dead run left behind must produce a grid byte-identical to an
+// uninterrupted baseline.
+func TestChaosKillAndRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+	ckDir := filepath.Join(dir, "ck")
+	if err := os.Mkdir(ckDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	baseGrid := filepath.Join(dir, "base.bin")
+	restoredGrid := filepath.Join(dir, "restored.bin")
+	const n = 2
+	shape := []string{
+		"-shape", "2d", "-space2d", "40x4", "-s1", "2", "-ranks", "2",
+		"-mode", "overlapped", "-verify=false",
+	}
+
+	// 1. Uninterrupted baseline (single process, -spawn).
+	out, err := child(ctx, append(shape, "-spawn", "-grid-out", baseGrid)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, out)
+	}
+
+	// 2. Chaos run: one real process per rank, checkpointing, with the
+	// failure detectors armed and each tile slowed so the kill lands
+	// mid-run deterministically (checkpoint files gate the kill).
+	addrs, err := loopbackAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := rand.New(rand.NewSource(2001)).Intn(n)
+	procs := make([]*exec.Cmd, n)
+	outs := make([]bytes.Buffer, n)
+	for r := 0; r < n; r++ {
+		procs[r] = child(ctx, append(shape,
+			"-rank", fmt.Sprint(r), "-addrs", strings.Join(addrs, ","),
+			"-checkpoint-dir", ckDir, "-checkpoint-every", "2",
+			"-tile-delay", "10ms", "-heartbeat", "50ms", "-deadline", "10s",
+		)...)
+		procs[r].Stdout = &outs[r]
+		procs[r].Stderr = &outs[r]
+		if err := procs[r].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill the victim once it has provably checkpointed past tile 4 (of
+	// 20): early enough that most of the run is still ahead, late enough
+	// that a restore has real state to resume from.
+	killDeadline := time.Now().Add(time.Minute)
+	for {
+		tile, _, err := runner.LatestCheckpoint(ckDir, victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tile >= 4 {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("rank %d never checkpointed past tile 4\nrank outputs:\n%s\n%s",
+				victim, outs[0].String(), outs[1].String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := procs[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Every process must exit promptly: the victim by the kill, the
+	// survivors non-zero because the world aborted — no hang.
+	var wg sync.WaitGroup
+	waitErrs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			waitErrs[r] = procs[r].Wait()
+		}(r)
+	}
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("ranks still running 30s after the kill — survivors hung\nrank outputs:\n%s\n%s",
+			outs[0].String(), outs[1].String())
+	}
+	for r := 0; r < n; r++ {
+		if r == victim {
+			var ee *exec.ExitError
+			if !isSignal(waitErrs[r], syscall.SIGKILL, &ee) {
+				t.Fatalf("victim rank %d: %v (want SIGKILL)", r, waitErrs[r])
+			}
+			continue
+		}
+		if waitErrs[r] == nil {
+			t.Fatalf("surviving rank %d exited 0 — it never noticed the crash\n%s", r, outs[r].String())
+		}
+		if s := outs[r].String(); !strings.Contains(s, "abort") {
+			t.Errorf("surviving rank %d's failure does not mention the abort:\n%s", r, s)
+		}
+	}
+
+	// 4. Restore from the snapshots the dead run left behind; the grid
+	// must be byte-identical to the uninterrupted baseline.
+	out, err = child(ctx, append(shape,
+		"-spawn", "-checkpoint-dir", ckDir, "-restore", "-grid-out", restoredGrid)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("restore run: %v\n%s", err, out)
+	}
+	base, err := os.ReadFile(baseGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := os.ReadFile(restoredGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("baseline grid is empty")
+	}
+	if !bytes.Equal(base, restored) {
+		t.Fatalf("restored grid differs from baseline (%d vs %d bytes)", len(restored), len(base))
+	}
+}
+
+// isSignal reports whether err is an ExitError terminated by sig.
+func isSignal(err error, sig syscall.Signal, out **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		return false
+	}
+	*out = ee
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	return ok && ws.Signaled() && ws.Signal() == sig
+}
+
+// TestChild2DSpawn smoke-tests the 2-D shape through the real CLI surface,
+// verification included.
+func TestChild2DSpawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, mode := range []string{"blocking", "overlapped"} {
+		out, err := child(ctx, "-spawn", "-shape", "2d", "-space2d", "60x6",
+			"-s1", "10", "-ranks", "3", "-mode", mode, "-deadline", "30s").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", mode, err, out)
+		}
+		if !strings.Contains(string(out), "max |parallel - sequential| = 0") {
+			t.Errorf("%s: verification line missing:\n%s", mode, out)
+		}
+	}
+}

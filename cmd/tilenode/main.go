@@ -20,11 +20,24 @@
 //
 //	tilenode -spawn -space 8x8x1024 -procs 2x2 -v 64 \
 //	         -metrics-addr :8080 -metrics-snapshot metrics.json
+//
+// The 2-D executor (-shape 2d) additionally supports failure handling:
+// -deadline bounds every blocking wait, -heartbeat starts the liveness
+// probe that aborts the world when a peer goes silent, and
+// -checkpoint-dir/-checkpoint-every/-restore give deterministic
+// checkpoint/restart — a run killed partway can be resumed and produces a
+// bit-identical grid:
+//
+//	tilenode -rank 0 -addrs ... -shape 2d -space2d 512x64 -s1 16 -ranks 4 \
+//	         -deadline 10s -heartbeat 1s \
+//	         -checkpoint-dir /tmp/ck -checkpoint-every 4 -restore
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"strconv"
@@ -32,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ilmath"
 	"repro/internal/model"
 	"repro/internal/mp"
 	"repro/internal/obs"
@@ -43,11 +57,24 @@ var (
 	rankFlag  = flag.Int("rank", -1, "this process's rank (with -addrs)")
 	addrsFlag = flag.String("addrs", "", "comma-separated host:port per rank")
 	spawnFlag = flag.Bool("spawn", false, "run all ranks in-process over loopback TCP")
-	spaceFlag = flag.String("space", "8x8x1024", "iteration space IxJxK")
-	procsFlag = flag.String("procs", "2x2", "processor grid PIxPJ")
-	vFlag     = flag.Int64("v", 64, "tile height along k")
+	shapeFlag = flag.String("shape", "3d", "3d | 2d (which executor to run)")
+	spaceFlag = flag.String("space", "8x8x1024", "iteration space IxJxK (with -shape 3d)")
+	procsFlag = flag.String("procs", "2x2", "processor grid PIxPJ (with -shape 3d)")
+	vFlag     = flag.Int64("v", 64, "tile height along k (with -shape 3d)")
 	modeFlag  = flag.String("mode", "overlapped", "blocking | overlapped")
 	verify    = flag.Bool("verify", true, "rank 0 verifies against a sequential run")
+
+	space2Flag = flag.String("space2d", "64x8", "iteration space I1xI2 (with -shape 2d)")
+	s1Flag     = flag.Int64("s1", 8, "tile side along dim 0 (with -shape 2d)")
+	ranksFlag  = flag.Int("ranks", 2, "number of ranks (with -shape 2d)")
+
+	deadlineFlag  = flag.Duration("deadline", 0, "bound every blocking wait (0 = forever)")
+	heartbeatFlag = flag.Duration("heartbeat", 0, "liveness probe interval (0 = off)")
+	ckDirFlag     = flag.String("checkpoint-dir", "", "directory for tile-frontier snapshots (2d only)")
+	ckEveryFlag   = flag.Int64("checkpoint-every", 0, "snapshot every N tiles (2d only, 0 = off)")
+	restoreFlag   = flag.Bool("restore", false, "resume from the newest usable snapshot (2d only)")
+	gridOutFlag   = flag.String("grid-out", "", "rank 0 writes the gathered grid (big-endian float64) here")
+	tileDelay     = flag.Duration("tile-delay", 0, "slow each tile row by this much (chaos testing)")
 
 	metricsAddr = flag.String("metrics-addr", "",
 		"serve expvar, net/http/pprof and /metrics.json on this host:port (\":0\" picks a free port)")
@@ -117,6 +144,104 @@ func buildConfig() (runner.Config, error) {
 	}, nil
 }
 
+func buildConfig2D() (runner.Config2D, error) {
+	p := strings.Split(*space2Flag, "x")
+	if len(p) != 2 {
+		return runner.Config2D{}, fmt.Errorf("want I1xI2, got %q", *space2Flag)
+	}
+	i1, err := strconv.ParseInt(p[0], 10, 64)
+	if err != nil {
+		return runner.Config2D{}, err
+	}
+	i2, err := strconv.ParseInt(p[1], 10, 64)
+	if err != nil {
+		return runner.Config2D{}, err
+	}
+	var mode runner.Mode
+	switch *modeFlag {
+	case "blocking":
+		mode = runner.Blocking
+	case "overlapped":
+		mode = runner.Overlapped
+	default:
+		return runner.Config2D{}, fmt.Errorf("unknown mode %q", *modeFlag)
+	}
+	var kernel stencil.Kernel = stencil.Sum2D{}
+	if *tileDelay > 0 {
+		kernel = slowKernel{Kernel: kernel, s1: *s1Flag, delay: *tileDelay}
+	}
+	return runner.Config2D{
+		I1: i1, I2: i2, S1: *s1Flag,
+		Kernel: kernel,
+		Mode:   mode,
+		Checkpoint: runner.CheckpointConfig{
+			Dir:     *ckDirFlag,
+			Every:   *ckEveryFlag,
+			Restore: *restoreFlag,
+		},
+	}, nil
+}
+
+// slowKernel stretches a run out for chaos testing: every evaluation on a
+// tile's first row sleeps, so each tile costs at least width×delay and a
+// SIGKILL can be aimed mid-run instead of racing a sub-millisecond finish.
+type slowKernel struct {
+	stencil.Kernel
+	s1    int64
+	delay time.Duration
+}
+
+func (k slowKernel) Eval(j ilmath.Vec, get func(ilmath.Vec) float64) float64 {
+	if j[0]%k.s1 == 0 {
+		time.Sleep(k.delay)
+	}
+	return k.Kernel.Eval(j, get)
+}
+
+// writeGrid dumps a gathered grid as big-endian float64s — the format the
+// chaos test byte-compares across a killed-then-restored run.
+func writeGrid(path string, g *stencil.Grid) error {
+	buf := make([]byte, 8*len(g.Data))
+	for i, v := range g.Data {
+		binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func rankMain2D(c mp.Comm, cfg runner.Config2D, obsv *observer) error {
+	local, stats, err := runner.Run2D(c, cfg)
+	if err != nil {
+		return err
+	}
+	if m := obsv.metrics(c.Rank()); m != nil {
+		m.RecordCheckpoints(stats.Checkpoints, stats.CheckpointBytes)
+	}
+	grid, err := runner.Gather2D(c, cfg, local)
+	if err != nil {
+		return err
+	}
+	if c.Rank() != 0 {
+		return nil
+	}
+	fmt.Printf("mode=%s space2d=%s s1=%d elapsed=%v tiles=%d sent=%d msgs (%d bytes) checkpoints=%d\n",
+		cfg.Mode, *space2Flag, cfg.S1, stats.Elapsed.Round(time.Microsecond),
+		stats.Tiles, stats.MsgsSent, stats.BytesSent, stats.Checkpoints)
+	if *verify {
+		diff, err := runner.VerifySequential2D(grid, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verification: max |parallel - sequential| = %g\n", diff)
+		if diff != 0 {
+			return fmt.Errorf("verification failed")
+		}
+	}
+	if *gridOutFlag != "" {
+		return writeGrid(*gridOutFlag, grid)
+	}
+	return nil
+}
+
 func rankMain(c mp.Comm, cfg runner.Config) error {
 	local, stats, err := runner.Run(c, cfg)
 	if err != nil {
@@ -152,8 +277,9 @@ func rankMain(c mp.Comm, cfg runner.Config) error {
 // stuck in Recv or Barrier). The launcher then reports the first failure
 // as a diagnostic instead of hanging; errors the teardown itself provokes
 // in surviving ranks are suppressed.
-func spawnRun(cfg runner.Config, n int,
-	connect func(rank int, cancel <-chan struct{}) (mp.Comm, error)) error {
+func spawnRun(n int,
+	connect func(rank int, cancel <-chan struct{}) (mp.Comm, error),
+	rankFn func(c mp.Comm) error) error {
 	type rankErr struct {
 		rank int
 		err  error
@@ -196,7 +322,7 @@ func spawnRun(cfg runner.Config, n int,
 				comms[rank] = c
 			}
 			mu.Unlock()
-			if err := rankMain(c, cfg); err != nil {
+			if err := rankFn(c); err != nil {
 				errCh <- rankErr{rank, err}
 			}
 		}(r)
@@ -233,6 +359,9 @@ type observer struct {
 	bound    string // address the metrics server actually bound
 	snap     string
 	shutdown func() error
+
+	mu sync.Mutex
+	ms map[int]*obs.CommMetrics // per-rank collectors, by rank
 }
 
 // newObserver returns nil (no instrumentation) when both flags are unset.
@@ -240,7 +369,7 @@ func newObserver(addr, snap string) (*observer, error) {
 	if addr == "" && snap == "" {
 		return nil, nil
 	}
-	o := &observer{reg: obs.NewRegistry(), snap: snap}
+	o := &observer{reg: obs.NewRegistry(), snap: snap, ms: make(map[int]*obs.CommMetrics)}
 	if addr != "" {
 		bound, stop, err := o.reg.Serve(addr)
 		if err != nil {
@@ -262,12 +391,25 @@ func (o *observer) instrument(rank, size int, base *mp.TCPOptions) (*mp.TCPOptio
 	}
 	m := obs.NewCommMetrics(rank, size)
 	o.reg.Register(m)
+	o.mu.Lock()
+	o.ms[rank] = m
+	o.mu.Unlock()
 	opts := &mp.TCPOptions{}
 	if base != nil {
 		*opts = *base
 	}
 	opts.OnEvent = m.TCPEvent
 	return opts, func(c mp.Comm) mp.Comm { return obs.InstrumentComm(c, m) }
+}
+
+// metrics returns rank's collector, or nil when instrumentation is off.
+func (o *observer) metrics(rank int) *obs.CommMetrics {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ms[rank]
 }
 
 // finish writes the teardown snapshot (if requested) and stops the metrics
@@ -299,49 +441,78 @@ func (o *observer) finish() error {
 }
 
 func run() error {
-	cfg, err := buildConfig()
-	if err != nil {
-		return err
+	var n int
+	var rankFn func(c mp.Comm) error
+	switch *shapeFlag {
+	case "3d":
+		cfg, err := buildConfig()
+		if err != nil {
+			return err
+		}
+		n = int(cfg.Grid.PI * cfg.Grid.PJ)
+		rankFn = func(c mp.Comm) error { return rankMain(c, cfg) }
+	case "2d":
+		cfg, err := buildConfig2D()
+		if err != nil {
+			return err
+		}
+		n = *ranksFlag
+		rankFn = func(c mp.Comm) error { return rankMain2D(c, cfg, theObserver) }
+	default:
+		return fmt.Errorf("unknown shape %q", *shapeFlag)
 	}
-	n := int(cfg.Grid.PI * cfg.Grid.PJ)
 	obsv, err := newObserver(*metricsAddr, *metricsSnap)
 	if err != nil {
 		return err
 	}
-	err = runRanks(cfg, n, obsv)
+	theObserver = obsv
+	err = runRanks(n, obsv, rankFn)
 	if ferr := obsv.finish(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func runRanks(cfg runner.Config, n int, obsv *observer) error {
+// theObserver is the process-wide observer; rankMain2D reads it to report
+// checkpoint counters. Set once in run() before any rank starts.
+var theObserver *observer
+
+// baseTCPOptions carries the failure-handling flags into every transport.
+func baseTCPOptions(cancel <-chan struct{}) *mp.TCPOptions {
+	return &mp.TCPOptions{
+		Cancel:    cancel,
+		Deadline:  *deadlineFlag,
+		Heartbeat: *heartbeatFlag,
+	}
+}
+
+func runRanks(n int, obsv *observer, rankFn func(c mp.Comm) error) error {
 	if *spawnFlag {
 		addrs, err := loopbackAddrs(n)
 		if err != nil {
 			return err
 		}
-		return spawnRun(cfg, n, func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
-			opts, wrap := obsv.instrument(rank, n, &mp.TCPOptions{Cancel: cancel})
+		return spawnRun(n, func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
+			opts, wrap := obsv.instrument(rank, n, baseTCPOptions(cancel))
 			c, err := mp.ConnectTCP(rank, n, addrs, opts)
 			if err != nil {
 				return nil, err
 			}
 			return wrap(c), nil
-		})
+		}, rankFn)
 	}
 	if *rankFlag < 0 || *addrsFlag == "" {
 		return fmt.Errorf("need -spawn, or both -rank and -addrs")
 	}
 	addrs := strings.Split(*addrsFlag, ",")
-	opts, wrap := obsv.instrument(*rankFlag, n, nil)
+	opts, wrap := obsv.instrument(*rankFlag, n, baseTCPOptions(nil))
 	c, err := mp.ConnectTCP(*rankFlag, n, addrs, opts)
 	if err != nil {
 		return err
 	}
 	c = wrap(c)
 	defer c.Close()
-	return rankMain(c, cfg)
+	return rankFn(c)
 }
 
 // loopbackAddrs reserves n free loopback ports.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -112,6 +113,87 @@ func TestFaultSweepValidation(t *testing.T) {
 	s.V = 0
 	if _, err := s.Run(); err == nil {
 		t.Error("zero tile height accepted")
+	}
+}
+
+// TestFaultSweepDeadlineConsistent: on a real sweep the retransmit-budget
+// and deadline-budget columns must agree at every intensity, the zero row
+// must be clean, and high enough intensity must actually exhaust the cap —
+// otherwise the cross-check would pass vacuously.
+func TestFaultSweepDeadlineConsistent(t *testing.T) {
+	s := smallFaultSweep()
+	rows, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDeadlineConsistency(rows); err != nil {
+		t.Fatal(err)
+	}
+	r0 := rows[0]
+	if r0.WorstResends != 0 || r0.WorstChain != 0 || r0.BudgetHit || r0.DeadlineHit {
+		t.Errorf("zero intensity shows retransmit activity: %+v", r0)
+	}
+	last := rows[len(rows)-1]
+	if last.WorstResends == 0 {
+		t.Errorf("full intensity produced no retransmits at all: %+v", last)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WorstResends < rows[i-1].WorstResends {
+			t.Errorf("worst resend count shrinks %d→%d as intensity rises %g→%g",
+				rows[i-1].WorstResends, rows[i].WorstResends, rows[i-1].Intensity, rows[i].Intensity)
+		}
+	}
+}
+
+// TestFaultSweepDeadlineBudgetHit drives the cross-check columns through
+// the non-vacuous branch: the Default plan's 10% loss practically never
+// chains 4 losses in a row on a 4-rank grid, so a hot plan (99% loss at
+// intensity 1) forces some link to exhaust MaxResend — and the moment it
+// does, its retry chain must equal the full deadline budget exactly, making
+// BudgetHit and DeadlineHit flip together.
+func TestFaultSweepDeadlineBudgetHit(t *testing.T) {
+	s := smallFaultSweep()
+	hot := fault.Plan{
+		Seed: s.Seed, Intensity: 1,
+		LossProb: 0.99, MaxResend: 4, TimeoutWire: 3, BackoffFactor: 2,
+	}
+	worst, chain, budgetHit, deadlineHit := s.deadline(hot)
+	if worst != hot.MaxResend {
+		t.Fatalf("worst resends = %d under 99%% loss, want the cap %d", worst, hot.MaxResend)
+	}
+	if !budgetHit || !deadlineHit {
+		t.Errorf("cap reached but budgetHit=%v deadlineHit=%v", budgetHit, deadlineHit)
+	}
+	if want := retryChain(hot, hot.MaxResend); chain != want {
+		t.Errorf("worst chain %g != full deadline budget %g", chain, want)
+	}
+}
+
+// TestCheckDeadlineConsistencyRejects: the checker fires when the two
+// budget columns disagree or the budget un-trips at a higher intensity.
+func TestCheckDeadlineConsistencyRejects(t *testing.T) {
+	good := []FaultRow{
+		{Intensity: 0},
+		{Intensity: 1, WorstResends: 4, WorstChain: 45, BudgetHit: true, DeadlineHit: true},
+	}
+	if err := CheckDeadlineConsistency(good); err != nil {
+		t.Errorf("consistent rows rejected: %v", err)
+	}
+	disagree := []FaultRow{
+		{Intensity: 1, WorstResends: 4, WorstChain: 45, BudgetHit: true, DeadlineHit: false},
+	}
+	if err := CheckDeadlineConsistency(disagree); err == nil {
+		t.Error("budget/deadline disagreement passed")
+	}
+	recovers := []FaultRow{
+		{Intensity: 0.5, WorstResends: 4, WorstChain: 45, BudgetHit: true, DeadlineHit: true},
+		{Intensity: 1},
+	}
+	if err := CheckDeadlineConsistency(recovers); err == nil {
+		t.Error("a budget that un-trips at higher intensity passed")
+	}
+	if err := CheckDeadlineConsistency(nil); err == nil {
+		t.Error("empty sweep passed")
 	}
 }
 

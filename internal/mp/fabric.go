@@ -1,6 +1,9 @@
 package mp
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // envelope is a message in flight.
 type envelope struct {
@@ -14,17 +17,19 @@ type envelope struct {
 
 // sendOp is the waitable handle of a rendezvous send: it completes when the
 // receiver matches the message, like MPI's synchronous-mode MPI_Ssend.
+// Completion is published by closing ch, so waiters can select against a
+// deadline timer or an abort latch; err is stable once ch is closed.
 type sendOp struct {
+	deadline time.Duration // 0 = wait forever
+
 	mu   sync.Mutex
-	cond *sync.Cond
 	done bool
+	ch   chan struct{}
 	err  error
 }
 
 func newSendOp() *sendOp {
-	op := &sendOp{}
-	op.cond = sync.NewCond(&op.mu)
-	return op
+	return &sendOp{ch: make(chan struct{})}
 }
 
 func (op *sendOp) complete(err error) {
@@ -32,48 +37,66 @@ func (op *sendOp) complete(err error) {
 	if !op.done {
 		op.done = true
 		op.err = err
-		op.cond.Broadcast()
+		close(op.ch)
 	}
 	op.mu.Unlock()
 }
 
-// Wait implements Request for rendezvous sends.
+// Wait implements Request for rendezvous sends. With a deadline configured
+// it returns ErrDeadline once the deadline passes; the send itself stays
+// pending (the message remains deliverable) and a later Wait can still
+// observe its completion.
 func (op *sendOp) Wait() (Status, error) {
-	op.mu.Lock()
-	defer op.mu.Unlock()
-	for !op.done {
-		op.cond.Wait()
+	select {
+	case <-op.ch:
+		return Status{}, op.err
+	default:
 	}
-	return Status{}, op.err
+	if op.deadline <= 0 {
+		<-op.ch
+		return Status{}, op.err
+	}
+	timer := time.NewTimer(op.deadline)
+	defer timer.Stop()
+	select {
+	case <-op.ch:
+		return Status{}, op.err
+	case <-timer.C:
+		return Status{}, ErrDeadline
+	}
 }
 
 // Test implements Request for rendezvous sends.
 func (op *sendOp) Test() (bool, Status, error) {
-	op.mu.Lock()
-	defer op.mu.Unlock()
-	if !op.done {
+	select {
+	case <-op.ch:
+		return true, Status{}, op.err
+	default:
 		return false, Status{}, nil
 	}
-	return true, Status{}, op.err
 }
 
-// recvOp is a posted receive awaiting a match.
+// recvOp is a posted receive awaiting a match. Like sendOp it publishes
+// completion by closing ch; status/err are stable once ch is closed. mb
+// points back at the mailbox the op is posted in so a deadline expiry can
+// withdraw it from the matching queue.
 type recvOp struct {
 	src int // AnySource allowed
 	tag int // AnyTag allowed
 	buf []byte
 
+	mb       *mailbox
+	deadline time.Duration // 0 = wait forever
+
 	mu     sync.Mutex
 	done   bool
+	ch     chan struct{}
 	status Status
 	err    error
-	cond   *sync.Cond
 }
 
 func newRecvOp(src, tag int, buf []byte) *recvOp {
-	op := &recvOp{src: src, tag: tag, buf: buf}
-	op.cond = sync.NewCond(&op.mu)
-	return op
+	return &recvOp{src: src, tag: tag, buf: buf, ch: make(chan struct{})}
 }
 
 func (op *recvOp) matches(e *envelope) bool {
@@ -90,6 +113,9 @@ func (op *recvOp) matches(e *envelope) bool {
 func (op *recvOp) complete(e *envelope) {
 	op.mu.Lock()
 	defer op.mu.Unlock()
+	if op.done {
+		return
+	}
 	if len(e.data) > len(op.buf) {
 		op.err = ErrTruncated
 	} else {
@@ -97,7 +123,7 @@ func (op *recvOp) complete(e *envelope) {
 	}
 	op.status = Status{Source: e.src, Tag: e.tag, Bytes: len(e.data)}
 	op.done = true
-	op.cond.Broadcast()
+	close(op.ch)
 }
 
 func (op *recvOp) fail(err error) {
@@ -106,28 +132,49 @@ func (op *recvOp) fail(err error) {
 	if !op.done {
 		op.err = err
 		op.done = true
-		op.cond.Broadcast()
+		close(op.ch)
 	}
 }
 
-// Wait implements Request for receives.
-func (op *recvOp) Wait() (Status, error) {
-	op.mu.Lock()
-	defer op.mu.Unlock()
-	for !op.done {
-		op.cond.Wait()
-	}
+// result reads the settled outcome; callers must only reach it once ch is
+// (about to be) closed — it blocks for the tiny deliver→complete window.
+func (op *recvOp) result() (Status, error) {
+	<-op.ch
 	return op.status, op.err
+}
+
+// Wait implements Request for receives, honoring the op's deadline: on
+// expiry the receive is withdrawn from the mailbox and fails with
+// ErrDeadline. A withdrawal that loses the race against an in-flight match
+// returns the match instead.
+func (op *recvOp) Wait() (Status, error) {
+	select {
+	case <-op.ch:
+		return op.status, op.err
+	default:
+	}
+	if op.deadline <= 0 {
+		return op.result()
+	}
+	timer := time.NewTimer(op.deadline)
+	defer timer.Stop()
+	select {
+	case <-op.ch:
+		return op.status, op.err
+	case <-timer.C:
+		op.mb.cancel(op, ErrDeadline)
+		return op.result()
+	}
 }
 
 // Test implements Request for receives.
 func (op *recvOp) Test() (bool, Status, error) {
-	op.mu.Lock()
-	defer op.mu.Unlock()
-	if !op.done {
+	select {
+	case <-op.ch:
+		return true, op.status, op.err
+	default:
 		return false, Status{}, nil
 	}
-	return true, op.status, op.err
 }
 
 // mailbox performs MPI-style (source, tag) matching for one rank.
@@ -138,19 +185,20 @@ type mailbox struct {
 	mu         sync.Mutex
 	unexpected []*envelope
 	posted     []*recvOp
-	closed     bool
+	failErr    error // ErrClosed or an *AbortError; nil while healthy
 }
 
 // deliver hands an incoming envelope to the oldest matching posted receive,
 // or queues it as unexpected.
 func (mb *mailbox) deliver(e *envelope) error {
 	mb.mu.Lock()
-	if mb.closed {
+	if mb.failErr != nil {
+		err := mb.failErr
 		mb.mu.Unlock()
 		if e.matched != nil {
-			e.matched.complete(ErrClosed)
+			e.matched.complete(err)
 		}
-		return ErrClosed
+		return err
 	}
 	for i, op := range mb.posted {
 		if op.matches(e) {
@@ -172,10 +220,12 @@ func (mb *mailbox) deliver(e *envelope) error {
 // unexpected messages if possible.
 func (mb *mailbox) post(op *recvOp) error {
 	mb.mu.Lock()
-	if mb.closed {
+	if mb.failErr != nil {
+		err := mb.failErr
 		mb.mu.Unlock()
-		return ErrClosed
+		return err
 	}
+	op.mb = mb
 	for i, e := range mb.unexpected {
 		if op.matches(e) {
 			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
@@ -192,24 +242,50 @@ func (mb *mailbox) post(op *recvOp) error {
 	return nil
 }
 
-// close fails all pending receives and unmatched rendezvous senders.
-func (mb *mailbox) close() {
+// cancel withdraws a posted receive and fails it with err (the deadline
+// path). It reports false when the op was no longer posted — i.e. a match
+// completed it concurrently, which then takes precedence.
+func (mb *mailbox) cancel(op *recvOp, err error) bool {
 	mb.mu.Lock()
+	for i, o := range mb.posted {
+		if o == op {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			mb.mu.Unlock()
+			op.fail(err)
+			return true
+		}
+	}
+	mb.mu.Unlock()
+	return false
+}
+
+// poison fails every pending receive and unmatched rendezvous sender with
+// err, and makes all future deliver/post calls fail the same way. The first
+// poison wins (close() and Abort() both route here).
+func (mb *mailbox) poison(err error) {
+	mb.mu.Lock()
+	if mb.failErr != nil {
+		mb.mu.Unlock()
+		return
+	}
+	mb.failErr = err
 	pend := mb.posted
 	unm := mb.unexpected
 	mb.posted = nil
 	mb.unexpected = nil
-	mb.closed = true
 	mb.mu.Unlock()
 	for _, op := range pend {
-		op.fail(ErrClosed)
+		op.fail(err)
 	}
 	for _, e := range unm {
 		if e.matched != nil {
-			e.matched.complete(ErrClosed)
+			e.matched.complete(err)
 		}
 	}
 }
+
+// close fails all pending receives and unmatched rendezvous senders.
+func (mb *mailbox) close() { mb.poison(ErrClosed) }
 
 // sendReq is the trivial already-complete Request returned by eager sends.
 type sendReq struct{ err error }

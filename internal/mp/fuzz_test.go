@@ -1,0 +1,53 @@
+package mp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrameDecode drives the TCP frame decoder with arbitrary bytes: a
+// corrupt or truncated frame must return an error — never panic, and never
+// allocate anywhere near the length a hostile header claims.
+func FuzzFrameDecode(f *testing.F) {
+	// Seed corpus: a valid empty frame, a valid payload frame, a truncated
+	// payload, a negative length, an oversized length, and a bad source.
+	frame := func(src, tag, n int32, payload []byte) []byte {
+		var hdr [12]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(src))
+		binary.BigEndian.PutUint32(hdr[4:8], uint32(tag))
+		binary.BigEndian.PutUint32(hdr[8:12], uint32(n))
+		return append(hdr[:], payload...)
+	}
+	f.Add(frame(1, 0, 0, nil))
+	f.Add(frame(2, 7, 5, []byte("hello")))
+	f.Add(frame(2, 7, 500, []byte("truncated")))
+	f.Add(frame(0, ctlAbort, 6, append([]byte{0, 0, 0, 3}, "x"...)))
+	f.Add(frame(1, 0, -1, nil))
+	f.Add(frame(1, 0, 1<<30, nil))
+	f.Add(frame(-1, 0, 0, nil))
+	f.Add(frame(99, 0, 0, nil))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	const worldSize = 4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, _, payload, err := decodeFrame(bytes.NewReader(data), worldSize)
+		if err != nil {
+			return
+		}
+		if src < 0 || src >= worldSize {
+			t.Fatalf("decodeFrame accepted out-of-range source %d", src)
+		}
+		if len(data) < 12 {
+			t.Fatalf("decodeFrame succeeded on a %d-byte input (header is 12)", len(data))
+		}
+		want := int(int32(binary.BigEndian.Uint32(data[8:12])))
+		if len(payload) != want {
+			t.Fatalf("payload length %d != declared %d", len(payload), want)
+		}
+		if !bytes.Equal(payload, data[12:12+want]) {
+			t.Fatal("payload does not match input bytes")
+		}
+	})
+}

@@ -3,6 +3,7 @@ package mp
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // World is an in-process communicator fabric: Size ranks backed by
@@ -13,6 +14,7 @@ type World struct {
 	boxes  []*mailbox
 	comms  []*inprocComm
 	bar    barrier
+	ab     *aborter
 	mu     sync.Mutex
 	closed bool
 }
@@ -25,6 +27,10 @@ type WorldOptions struct {
 	// message protocol. Negative (the default via NewWorld) means always
 	// eager; 0 means every send is rendezvous.
 	RendezvousThreshold int
+	// Deadline, when positive, bounds every blocking wait (Recv,
+	// Request.Wait, Barrier) on every rank: a wait that exceeds it fails
+	// with ErrDeadline. Zero (the default) means waits block forever.
+	Deadline time.Duration
 }
 
 // NewWorld creates an all-eager fabric with n ranks and returns the
@@ -38,7 +44,7 @@ func NewWorldOpts(n int, opts WorldOptions) (*World, []Comm, error) {
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("mp: world size must be positive, got %d", n)
 	}
-	w := &World{n: n, opts: opts, boxes: make([]*mailbox, n), comms: make([]*inprocComm, n)}
+	w := &World{n: n, opts: opts, boxes: make([]*mailbox, n), comms: make([]*inprocComm, n), ab: newAborter()}
 	w.bar.init(n)
 	comms := make([]Comm, n)
 	for i := 0; i < n; i++ {
@@ -63,6 +69,18 @@ func (w *World) Close() error {
 	}
 	w.bar.close()
 	return nil
+}
+
+// abort poisons every mailbox and the barrier with e; shared memory plays
+// the role of the TCP transport's dissemination tree.
+func (w *World) abort(e *AbortError) {
+	if !w.ab.abort(e) {
+		return
+	}
+	for _, mb := range w.boxes {
+		mb.poison(e)
+	}
+	w.bar.fail(e)
 }
 
 // Launch runs fn on every rank of a fresh n-rank world, one goroutine per
@@ -141,6 +159,7 @@ func (c *inprocComm) Isend(dst, tag int, data []byte) (Request, error) {
 	if t := c.world.opts.RendezvousThreshold; t >= 0 && len(data) > t {
 		// Rendezvous mode: the request completes when the receiver matches.
 		e.matched = newSendOp()
+		e.matched.deadline = c.world.opts.Deadline
 		if err := c.world.boxes[dst].deliver(e); err != nil {
 			return nil, err
 		}
@@ -169,6 +188,7 @@ func (c *inprocComm) Irecv(src, tag int, buf []byte) (Request, error) {
 		return nil, err
 	}
 	op := newRecvOp(src, tag, buf)
+	op.deadline = c.world.opts.Deadline
 	if err := c.world.boxes[c.rank].post(op); err != nil {
 		return nil, err
 	}
@@ -179,7 +199,15 @@ func (c *inprocComm) Barrier() error {
 	if c.isClosed() {
 		return ErrClosed
 	}
-	return c.world.bar.await()
+	return c.world.bar.await(c.world.opts.Deadline)
+}
+
+func (c *inprocComm) Abort(cause error) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	c.world.abort(&AbortError{Rank: c.rank, Cause: cause})
+	return nil
 }
 
 func (c *inprocComm) Close() error {
@@ -189,14 +217,15 @@ func (c *inprocComm) Close() error {
 	return nil
 }
 
-// barrier is a reusable n-party barrier.
+// barrier is a reusable n-party barrier. A latched failure (close or abort)
+// releases current waiters and fails all future arrivals.
 type barrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	count  int
-	gen    int
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     int
+	failErr error
 }
 
 func (b *barrier) init(n int) {
@@ -204,11 +233,14 @@ func (b *barrier) init(n int) {
 	b.cond = sync.NewCond(&b.mu)
 }
 
-func (b *barrier) await() error {
+// await blocks until all n parties arrive. With a positive deadline the
+// wait is bounded: on expiry this party withdraws its arrival (so a phantom
+// arrival cannot complete a later generation) and returns ErrDeadline.
+func (b *barrier) await(deadline time.Duration) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
-		return ErrClosed
+	if b.failErr != nil {
+		return b.failErr
 	}
 	gen := b.gen
 	b.count++
@@ -218,18 +250,37 @@ func (b *barrier) await() error {
 		b.cond.Broadcast()
 		return nil
 	}
-	for gen == b.gen && !b.closed {
+	var expired bool
+	if deadline > 0 {
+		timer := time.AfterFunc(deadline, func() {
+			b.mu.Lock()
+			expired = true
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for gen == b.gen && b.failErr == nil {
+		if expired {
+			b.count--
+			return ErrDeadline
+		}
 		b.cond.Wait()
 	}
-	if b.closed && gen == b.gen {
-		return ErrClosed
+	if b.failErr != nil && gen == b.gen {
+		return b.failErr
 	}
 	return nil
 }
 
-func (b *barrier) close() {
+// fail latches err (first failure wins) and releases every waiter.
+func (b *barrier) fail(err error) {
 	b.mu.Lock()
-	b.closed = true
+	if b.failErr == nil {
+		b.failErr = err
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
+
+func (b *barrier) close() { b.fail(ErrClosed) }

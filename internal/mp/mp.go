@@ -15,11 +15,36 @@
 //   - the TCP transport (ConnectTCP): ranks are separate processes meshed
 //     over TCP sockets via the net package, for multi-process runs.
 //
+// # Failure handling
+//
 // Like MPI, the collective operations and Barrier require every rank to
-// participate: a rank that errors out and returns early while its peers sit
-// in a barrier deadlocks the world until it is closed. Structure per-rank
-// code so that validation failures happen on every rank (deterministic
-// configuration checks before the first collective), as runner does.
+// participate, but unlike classical MPI a stuck or dead peer does not wedge
+// the world forever. Three mechanisms bound every blocking operation:
+//
+//   - Deadlines: a per-communicator default deadline (WorldOptions.Deadline,
+//     TCPOptions.Deadline) bounds each blocking wait — Recv, Request.Wait,
+//     Barrier — which then fails with ErrDeadline instead of blocking
+//     forever. A deadline-expired receive is withdrawn from the matching
+//     queue; the message it would have matched stays deliverable to a later
+//     receive.
+//
+//   - Cooperative abort: any rank may call Comm.Abort(cause). The abort is
+//     disseminated over a log-depth binomial tree (on the TCP transport;
+//     in-process it is a shared-memory poison), and every rank's pending and
+//     future operations — point-to-point, collectives, and Barrier — fail
+//     with an *AbortError carrying the origin rank and cause
+//     (errors.Is(err, ErrAborted) reports true). Runner code calls Abort on
+//     any mid-run error so peers unblock promptly instead of deadlocking.
+//
+//   - Failure detection (TCP): TCPOptions.Heartbeat starts a liveness probe
+//     on a reserved control tag; a peer silent for HeartbeatMiss intervals
+//     triggers an abort naming it. Connection loss is an even faster signal:
+//     with AbortOnDisconnect (implied by heartbeats), a peer that vanishes
+//     without the shutdown handshake aborts the world immediately.
+//
+// Deterministic configuration validation should still happen on every rank
+// before the first collective (as runner does): a validation failure is then
+// reported identically everywhere without any abort traffic.
 package mp
 
 import (
@@ -39,6 +64,33 @@ var ErrClosed = errors.New("mp: communicator closed")
 // ErrTruncated is returned when an incoming message is larger than the
 // receive buffer (like MPI_ERR_TRUNCATE).
 var ErrTruncated = errors.New("mp: message truncated (receive buffer too small)")
+
+// ErrDeadline is returned by blocking operations that exceeded the
+// communicator's configured deadline (WorldOptions.Deadline or
+// TCPOptions.Deadline). The operation is withdrawn: a receive that timed
+// out no longer matches incoming messages.
+var ErrDeadline = errors.New("mp: deadline exceeded")
+
+// ErrAborted is the sentinel matched (via errors.Is) by the *AbortError
+// returned from every operation after a communicator abort.
+var ErrAborted = errors.New("mp: world aborted")
+
+// AbortError reports that the world was aborted: Rank is the origin rank
+// that called Abort (or that a failure detector declared dead), Cause the
+// reason it gave. errors.Is(err, ErrAborted) reports true for it.
+type AbortError struct {
+	Rank  int
+	Cause error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("mp: world aborted by rank %d: %v", e.Rank, e.Cause)
+}
+
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrAborted) match any AbortError.
+func (e *AbortError) Is(target error) bool { return target == ErrAborted }
 
 // Status describes a completed receive.
 type Status struct {
@@ -75,6 +127,12 @@ type Comm interface {
 	Irecv(src, tag int, buf []byte) (Request, error)
 	// Barrier blocks until every rank has entered the barrier.
 	Barrier() error
+	// Abort poisons the whole communicator: every rank's pending and
+	// future blocking operations fail with an *AbortError carrying this
+	// rank and the given cause. Only the first abort wins; later calls are
+	// no-ops. Safe to call from any goroutine, including while other
+	// operations on the same endpoint block.
+	Abort(cause error) error
 	// Close releases the endpoint. Further operations fail with ErrClosed.
 	Close() error
 }

@@ -1,11 +1,14 @@
 package mp
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -15,7 +18,20 @@ import (
 const (
 	ctlBarrierArrive  = -2
 	ctlBarrierRelease = -3
+	// ctlAbort disseminates a world abort over the binomial tree: payload
+	// is the 4-byte origin rank followed by the cause string.
+	ctlAbort = -4
+	// ctlHeartbeat is the liveness probe; any frame proves liveness, the
+	// probe only guarantees silence has a bound.
+	ctlHeartbeat = -5
+	// ctlGoodbye announces a clean departure: the peer's subsequent
+	// connection teardown must not be mistaken for a crash.
+	ctlGoodbye = -6
 )
+
+// maxFrameLen bounds a frame payload (64 MiB): a corrupt or hostile length
+// header fails the frame instead of forcing a huge allocation.
+const maxFrameLen = 64 << 20
 
 // TCPOptions tunes ConnectTCP.
 type TCPOptions struct {
@@ -33,6 +49,24 @@ type TCPOptions struct {
 	// of wedging it forever. Reads stay unbounded (an idle rank
 	// legitimately waits arbitrarily long for the next message).
 	IOTimeout time.Duration
+	// Deadline, when positive, bounds every blocking wait (Recv,
+	// Request.Wait, Barrier): a wait that exceeds it fails with
+	// ErrDeadline. Zero means waits block forever.
+	Deadline time.Duration
+	// Heartbeat, when positive, starts a liveness probe: every interval
+	// the rank pings each peer on a reserved control tag and checks when
+	// it last heard from them; a peer silent for more than
+	// HeartbeatMiss×Heartbeat triggers a world abort naming that peer.
+	// Enabling heartbeats implies AbortOnDisconnect.
+	Heartbeat time.Duration
+	// HeartbeatMiss is how many silent intervals declare a peer dead.
+	// Default 3.
+	HeartbeatMiss int
+	// AbortOnDisconnect makes a lost connection (without the clean
+	// shutdown handshake Close performs) abort the world immediately,
+	// naming the vanished peer — the fast failure signal for a killed
+	// process, complementing the heartbeat's coverage of hangs.
+	AbortOnDisconnect bool
 	// Cancel, when non-nil, aborts a ConnectTCP still meshing up as soon
 	// as the channel is closed: the listener and any half-built
 	// connections are torn down and ConnectTCP returns an error. This is
@@ -40,11 +74,12 @@ type TCPOptions struct {
 	// timeout for a rank that already failed.
 	Cancel <-chan struct{}
 	// OnEvent, when non-nil, observes transport lifecycle events: dial
-	// retries and successes, accepted handshakes, handshake failures, and
-	// post-handshake frame-write errors. It is called synchronously from
-	// the dial/accept goroutines and the send path, so it must be safe for
-	// concurrent use and must not block; obs.InstrumentComm uses it to feed
-	// the runtime TCP counters.
+	// retries and successes, accepted handshakes, handshake failures,
+	// post-handshake frame-write errors, heartbeats, lost peers, and
+	// aborts. It is called synchronously from the dial/accept goroutines
+	// and the send path, so it must be safe for concurrent use and must
+	// not block; obs.InstrumentComm uses it to feed the runtime TCP
+	// counters.
 	OnEvent func(TCPEvent)
 }
 
@@ -64,6 +99,13 @@ const (
 	EvHandshakeErr
 	// EvWriteErr: a post-handshake frame write to Peer failed with Err.
 	EvWriteErr
+	// EvHeartbeat: a liveness probe arrived from Peer.
+	EvHeartbeat
+	// EvPeerLost: the connection to Peer died (or its heartbeats stopped)
+	// without a clean goodbye; Err describes how.
+	EvPeerLost
+	// EvAbort: the world aborted; Peer is the origin rank, Err the cause.
+	EvAbort
 )
 
 func (k TCPEventKind) String() string {
@@ -78,6 +120,12 @@ func (k TCPEventKind) String() string {
 		return "handshake-err"
 	case EvWriteErr:
 		return "write-err"
+	case EvHeartbeat:
+		return "heartbeat"
+	case EvPeerLost:
+		return "peer-lost"
+	case EvAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("TCPEventKind(%d)", int(k))
 	}
@@ -97,9 +145,10 @@ type TCPEvent struct {
 }
 
 const (
-	defaultDialTimeout = 10 * time.Second
-	defaultDialBackoff = 10 * time.Millisecond
-	maxDialBackoff     = 500 * time.Millisecond
+	defaultDialTimeout   = 10 * time.Second
+	defaultDialBackoff   = 10 * time.Millisecond
+	maxDialBackoff       = 500 * time.Millisecond
+	defaultHeartbeatMiss = 3
 )
 
 // tuneConn applies socket options to a mesh connection: TCP_NODELAY
@@ -139,14 +188,25 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 	}
 
 	c := &tcpComm{
-		rank:  rank,
-		size:  size,
-		conns: make([]*peerConn, size),
-		box:   &mailbox{},
+		rank:     rank,
+		size:     size,
+		conns:    make([]*peerConn, size),
+		box:      &mailbox{},
+		ab:       newAborter(),
+		hbMiss:   defaultHeartbeatMiss,
+		hbStop:   make(chan struct{}),
+		departed: make([]atomic.Bool, size),
+		lastSeen: make([]atomic.Int64, size),
 	}
 	if opts != nil {
 		c.ioTimeout = opts.IOTimeout
 		c.onEvent = opts.OnEvent
+		c.deadline = opts.Deadline
+		c.hbInterval = opts.Heartbeat
+		if opts.HeartbeatMiss > 0 {
+			c.hbMiss = opts.HeartbeatMiss
+		}
+		c.abortOnDisconnect = opts.AbortOnDisconnect || opts.Heartbeat > 0
 	}
 	c.barCond = sync.NewCond(&c.barMu)
 
@@ -288,13 +348,22 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 		return nil, err
 	default:
 	}
-	// Start one reader per peer.
+	// Everyone is provably alive right now; liveness tracking starts here.
+	now := time.Now().UnixNano()
+	for i := range c.lastSeen {
+		c.lastSeen[i].Store(now)
+	}
+	// Start one reader per peer, plus the optional liveness prober.
 	for i, pc := range c.conns {
 		if pc == nil {
 			continue
 		}
 		c.readers.Add(1)
 		go c.readLoop(i, pc)
+	}
+	if c.hbInterval > 0 && size > 1 {
+		c.readers.Add(1)
+		go c.heartbeatLoop()
 	}
 	return c, nil
 }
@@ -314,8 +383,20 @@ type tcpComm struct {
 	ioTimeout  time.Duration
 	onEvent    func(TCPEvent)
 
-	mu     sync.Mutex
-	closed bool
+	// Failure handling.
+	ab                *aborter
+	deadline          time.Duration
+	hbInterval        time.Duration
+	hbMiss            int
+	hbStop            chan struct{}
+	hbStopOnce        sync.Once
+	abortOnDisconnect bool
+	departed          []atomic.Bool  // peer sent ctlGoodbye
+	lastSeen          []atomic.Int64 // UnixNano of last frame per peer
+
+	mu        sync.Mutex
+	closed    bool
+	closeOnce sync.Once
 
 	// Barrier state: rank 0 coordinates.
 	barMu      sync.Mutex
@@ -345,6 +426,12 @@ func (c *tcpComm) setConn(peer int, conn net.Conn) error {
 func (c *tcpComm) Rank() int { return c.rank }
 func (c *tcpComm) Size() int { return c.size }
 
+func (c *tcpComm) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 // frame layout: src int32 | tag int32 | len int32 | payload.
 func (c *tcpComm) writeFrame(dst, tag int, data []byte) error {
 	c.mu.Lock()
@@ -357,6 +444,12 @@ func (c *tcpComm) writeFrame(dst, tag int, data []byte) error {
 	if pc == nil {
 		return fmt.Errorf("mp: no connection to rank %d", dst)
 	}
+	return c.writeFrameConn(pc, dst, tag, data)
+}
+
+// writeFrameConn writes one frame on an already-resolved connection; Close
+// uses it directly for the goodbye frames after marking the comm closed.
+func (c *tcpComm) writeFrameConn(pc *peerConn, dst, tag int, data []byte) error {
 	var hdr [12]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(int32(c.rank)))
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(tag)))
@@ -387,29 +480,76 @@ func (c *tcpComm) event(ev TCPEvent) {
 	}
 }
 
+// decodeFrame reads and validates one frame. A corrupt header (source out
+// of range, negative or oversized length) fails with an error rather than
+// panicking, and a large length claim on a truncated stream grows its
+// buffer incrementally instead of trusting the header with one huge
+// allocation.
+func decodeFrame(r io.Reader, size int) (src, tag int, payload []byte, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	src = int(int32(binary.BigEndian.Uint32(hdr[0:4])))
+	tag = int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+	n := int64(int32(binary.BigEndian.Uint32(hdr[8:12])))
+	if src < 0 || src >= size {
+		return 0, 0, nil, fmt.Errorf("mp: frame source %d out of range [0,%d)", src, size)
+	}
+	if n < 0 || n > maxFrameLen {
+		return 0, 0, nil, fmt.Errorf("mp: frame length %d out of range [0,%d]", n, int64(maxFrameLen))
+	}
+	switch {
+	case n == 0:
+	case n <= 64<<10: // common case: one exact allocation
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	default:
+		var buf bytes.Buffer
+		if _, err := io.CopyN(&buf, r, n); err != nil {
+			return 0, 0, nil, err
+		}
+		payload = buf.Bytes()
+	}
+	return src, tag, payload, nil
+}
+
 func (c *tcpComm) readLoop(peer int, pc *peerConn) {
 	defer c.readers.Done()
-	var hdr [12]byte
 	for {
-		if _, err := io.ReadFull(pc.conn, hdr[:]); err != nil {
-			return // connection closed
-		}
-		src := int(int32(binary.BigEndian.Uint32(hdr[0:4])))
-		tag := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
-		n := int(int32(binary.BigEndian.Uint32(hdr[8:12])))
-		data := make([]byte, n)
-		if _, err := io.ReadFull(pc.conn, data); err != nil {
+		src, tag, data, err := decodeFrame(pc.conn, c.size)
+		if err != nil {
+			c.peerGone(peer, err)
 			return
 		}
+		c.lastSeen[peer].Store(time.Now().UnixNano())
 		if tag < 0 {
-			c.handleControl(src, tag)
+			c.handleControl(src, tag, data)
 			continue
 		}
 		_ = c.box.deliver(&envelope{src: src, tag: tag, data: data})
 	}
 }
 
-func (c *tcpComm) handleControl(src, tag int) {
+// peerGone handles a dead connection: silently during teardown or after a
+// clean goodbye, otherwise it is a crash signal — reported, and (when the
+// failure-detection options ask for it) escalated to a world abort.
+func (c *tcpComm) peerGone(peer int, err error) {
+	if c.isClosed() || c.ab.cause() != nil || c.departed[peer].Load() {
+		return
+	}
+	c.event(TCPEvent{Kind: EvPeerLost, Peer: peer, Err: err})
+	if c.abortOnDisconnect {
+		c.doAbort(&AbortError{
+			Rank:  peer,
+			Cause: fmt.Errorf("mp: connection to rank %d lost: %w", peer, err),
+		}, true)
+	}
+}
+
+func (c *tcpComm) handleControl(src, tag int, payload []byte) {
 	switch tag {
 	case ctlBarrierArrive: // only rank 0 receives these
 		c.barMu.Lock()
@@ -421,6 +561,95 @@ func (c *tcpComm) handleControl(src, tag int) {
 		c.barGen++
 		c.barCond.Broadcast()
 		c.barMu.Unlock()
+	case ctlAbort:
+		origin, cause := decodeAbort(payload)
+		c.doAbort(&AbortError{Rank: origin, Cause: errors.New(cause)}, true)
+	case ctlHeartbeat:
+		c.event(TCPEvent{Kind: EvHeartbeat, Peer: src})
+	case ctlGoodbye:
+		c.departed[src].Store(true)
+	}
+}
+
+func encodeAbort(e *AbortError) []byte {
+	cause := "unknown"
+	if e.Cause != nil {
+		cause = e.Cause.Error()
+	}
+	buf := make([]byte, 4+len(cause))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(int32(e.Rank)))
+	copy(buf[4:], cause)
+	return buf
+}
+
+func decodeAbort(payload []byte) (origin int, cause string) {
+	if len(payload) < 4 {
+		return -1, "malformed abort"
+	}
+	return int(int32(binary.BigEndian.Uint32(payload[0:4]))), string(payload[4:])
+}
+
+// doAbort latches the abort, unblocks every local waiter (mailbox and
+// barrier), and — when forwarding — passes the poison to this rank's
+// children on the binomial tree rooted at the origin, reaching all ranks
+// in ⌈log2 size⌉ hops.
+func (c *tcpComm) doAbort(e *AbortError, forward bool) {
+	if !c.ab.abort(e) {
+		return
+	}
+	c.event(TCPEvent{Kind: EvAbort, Peer: e.Rank, Err: e.Cause})
+	c.box.poison(e)
+	c.barMu.Lock()
+	c.barCond.Broadcast()
+	c.barMu.Unlock()
+	if !forward {
+		return
+	}
+	payload := encodeAbort(e)
+	for _, child := range abortChildren(c.rank, e.Rank, c.size) {
+		// Best effort: a child whose connection is already dead will learn
+		// of the abort from its own disconnect signal or deadline.
+		_ = c.writeFrame(child, ctlAbort, payload)
+	}
+}
+
+func (c *tcpComm) Abort(cause error) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	c.doAbort(&AbortError{Rank: c.rank, Cause: cause}, true)
+	return nil
+}
+
+// heartbeatLoop probes every live peer each interval and declares the
+// world aborted when one has been silent too long. Any received frame
+// counts as liveness; the probe only bounds the silence.
+func (c *tcpComm) heartbeatLoop() {
+	defer c.readers.Done()
+	ticker := time.NewTicker(c.hbInterval)
+	defer ticker.Stop()
+	limit := time.Duration(c.hbMiss) * c.hbInterval
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-c.ab.done():
+			return
+		case now := <-ticker.C:
+			for p := range c.conns {
+				if p == c.rank || c.conns[p] == nil || c.departed[p].Load() {
+					continue
+				}
+				_ = c.writeFrame(p, ctlHeartbeat, nil)
+				silent := now.Sub(time.Unix(0, c.lastSeen[p].Load()))
+				if silent > limit {
+					err := fmt.Errorf("mp: rank %d heartbeat timeout (silent %v > %v)", p, silent.Round(time.Millisecond), limit)
+					c.event(TCPEvent{Kind: EvPeerLost, Peer: p, Err: err})
+					c.doAbort(&AbortError{Rank: p, Cause: err}, true)
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -434,6 +663,9 @@ func (c *tcpComm) Send(dst, tag int, data []byte) error {
 }
 
 func (c *tcpComm) Isend(dst, tag int, data []byte) (Request, error) {
+	if e := c.ab.cause(); e != nil {
+		return nil, e
+	}
 	if err := checkRank(dst, c.size, "destination"); err != nil {
 		return nil, err
 	}
@@ -466,6 +698,7 @@ func (c *tcpComm) Irecv(src, tag int, buf []byte) (Request, error) {
 		return nil, err
 	}
 	op := newRecvOp(src, tag, buf)
+	op.deadline = c.deadline
 	if err := c.box.post(op); err != nil {
 		return nil, err
 	}
@@ -473,14 +706,36 @@ func (c *tcpComm) Irecv(src, tag int, buf []byte) (Request, error) {
 }
 
 // Barrier: ranks send an arrive frame to rank 0; rank 0 waits for size−1
-// arrivals plus itself, then broadcasts release frames.
+// arrivals plus itself, then broadcasts release frames. The wait observes
+// both the communicator deadline and aborts.
 func (c *tcpComm) Barrier() error {
+	if e := c.ab.cause(); e != nil {
+		return e
+	}
 	if c.size == 1 {
 		return nil
+	}
+	var expired bool
+	if c.deadline > 0 {
+		timer := time.AfterFunc(c.deadline, func() {
+			c.barMu.Lock()
+			expired = true
+			c.barCond.Broadcast()
+			c.barMu.Unlock()
+		})
+		defer timer.Stop()
 	}
 	if c.rank == 0 {
 		c.barMu.Lock()
 		for c.barArrived < c.size-1 {
+			if e := c.ab.cause(); e != nil {
+				c.barMu.Unlock()
+				return e
+			}
+			if expired {
+				c.barMu.Unlock()
+				return ErrDeadline
+			}
 			c.barCond.Wait()
 		}
 		c.barArrived -= c.size - 1
@@ -499,31 +754,50 @@ func (c *tcpComm) Barrier() error {
 		return err
 	}
 	c.barMu.Lock()
+	defer c.barMu.Unlock()
 	for c.barGen == gen {
+		if e := c.ab.cause(); e != nil {
+			return e
+		}
+		if expired {
+			return ErrDeadline
+		}
 		c.barCond.Wait()
 	}
-	c.barMu.Unlock()
 	return nil
 }
 
 func (c *tcpComm) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
-	c.closed = true
-	conns := append([]*peerConn(nil), c.conns...)
-	c.mu.Unlock()
-	if c.listener != nil {
-		c.listener.Close()
-	}
-	for _, pc := range conns {
-		if pc != nil {
-			pc.conn.Close()
+	c.closeOnce.Do(func() {
+		// Stop probing before the connections go away.
+		c.hbStopOnce.Do(func() { close(c.hbStop) })
+		// Polite departure: tell live peers this endpoint is leaving so
+		// the connection teardown below is not mistaken for a crash. On
+		// an aborted world the peers already know; skip the formality.
+		if c.ab.cause() == nil {
+			c.mu.Lock()
+			conns := append([]*peerConn(nil), c.conns...)
+			c.mu.Unlock()
+			for p, pc := range conns {
+				if pc != nil && p != c.rank {
+					_ = c.writeFrameConn(pc, p, ctlGoodbye, nil)
+				}
+			}
 		}
-	}
-	c.box.close()
-	c.readers.Wait()
+		c.mu.Lock()
+		c.closed = true
+		conns := append([]*peerConn(nil), c.conns...)
+		c.mu.Unlock()
+		if c.listener != nil {
+			c.listener.Close()
+		}
+		for _, pc := range conns {
+			if pc != nil {
+				pc.conn.Close()
+			}
+		}
+		c.box.close()
+		c.readers.Wait()
+	})
 	return nil
 }

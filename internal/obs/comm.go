@@ -54,6 +54,12 @@ type CommMetrics struct {
 	tcpAcceptOKs    atomic.Int64
 	tcpHandshakeErr atomic.Int64
 	tcpWriteErr     atomic.Int64
+	tcpHeartbeats   atomic.Int64
+	tcpPeersLost    atomic.Int64
+	tcpAborts       atomic.Int64
+
+	checkpoints     atomic.Int64
+	checkpointBytes atomic.Int64
 }
 
 // NewCommMetrics returns a metrics collector for the given rank in a world
@@ -79,7 +85,21 @@ func (m *CommMetrics) TCPEvent(ev mp.TCPEvent) {
 		m.tcpHandshakeErr.Add(1)
 	case mp.EvWriteErr:
 		m.tcpWriteErr.Add(1)
+	case mp.EvHeartbeat:
+		m.tcpHeartbeats.Add(1)
+	case mp.EvPeerLost:
+		m.tcpPeersLost.Add(1)
+	case mp.EvAbort:
+		m.tcpAborts.Add(1)
 	}
+}
+
+// RecordCheckpoints tallies snapshot activity reported by the runner (count
+// of checkpoints written and their total on-disk bytes). Safe for
+// concurrent use.
+func (m *CommMetrics) RecordCheckpoints(count int, bytes int64) {
+	m.checkpoints.Add(int64(count))
+	m.checkpointBytes.Add(bytes)
 }
 
 // recordWait adds one blocking-wait observation to the histogram.
@@ -112,6 +132,9 @@ type TCPCounts struct {
 	AcceptOKs     int64 `json:"accept_oks"`
 	HandshakeErrs int64 `json:"handshake_errs"`
 	WriteErrs     int64 `json:"write_errs"`
+	Heartbeats    int64 `json:"heartbeats,omitempty"`
+	PeersLost     int64 `json:"peers_lost,omitempty"`
+	Aborts        int64 `json:"aborts,omitempty"`
 }
 
 // CommSnapshot is a plain-value copy of a CommMetrics, shaped for JSON.
@@ -128,6 +151,9 @@ type CommSnapshot struct {
 	WaitNs    int64         `json:"wait_total_ns"`
 	WaitHist  []WaitBucket  `json:"wait_hist,omitempty"`
 	TCP       TCPCounts     `json:"tcp"`
+	// Checkpoint activity reported via RecordCheckpoints.
+	Checkpoints     int64 `json:"checkpoints,omitempty"`
+	CheckpointBytes int64 `json:"checkpoint_bytes,omitempty"`
 }
 
 // Snapshot returns the current counter values. The per-counter loads are
@@ -167,7 +193,12 @@ func (m *CommMetrics) Snapshot() CommSnapshot {
 		AcceptOKs:     m.tcpAcceptOKs.Load(),
 		HandshakeErrs: m.tcpHandshakeErr.Load(),
 		WriteErrs:     m.tcpWriteErr.Load(),
+		Heartbeats:    m.tcpHeartbeats.Load(),
+		PeersLost:     m.tcpPeersLost.Load(),
+		Aborts:        m.tcpAborts.Load(),
 	}
+	s.Checkpoints = m.checkpoints.Load()
+	s.CheckpointBytes = m.checkpointBytes.Load()
 	return s
 }
 

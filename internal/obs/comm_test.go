@@ -142,10 +142,25 @@ func TestCommMetricsTCPEvents(t *testing.T) {
 	m.TCPEvent(mp.TCPEvent{Kind: mp.EvAcceptOK, Peer: 1})
 	m.TCPEvent(mp.TCPEvent{Kind: mp.EvHandshakeErr, Peer: -1, Err: io.EOF})
 	m.TCPEvent(mp.TCPEvent{Kind: mp.EvWriteErr, Peer: 1, Err: io.EOF})
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvHeartbeat, Peer: 1})
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvHeartbeat, Peer: 1})
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvPeerLost, Peer: 1, Err: io.EOF})
+	m.TCPEvent(mp.TCPEvent{Kind: mp.EvAbort, Peer: 1, Err: io.EOF})
 	got := m.Snapshot().TCP
-	want := TCPCounts{DialRetries: 3, DialOKs: 1, AcceptOKs: 1, HandshakeErrs: 1, WriteErrs: 1}
+	want := TCPCounts{DialRetries: 3, DialOKs: 1, AcceptOKs: 1, HandshakeErrs: 1, WriteErrs: 1,
+		Heartbeats: 2, PeersLost: 1, Aborts: 1}
 	if got != want {
 		t.Errorf("TCP counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestCommMetricsCheckpoints(t *testing.T) {
+	m := NewCommMetrics(0, 2)
+	m.RecordCheckpoints(2, 4096)
+	m.RecordCheckpoints(1, 2048)
+	s := m.Snapshot()
+	if s.Checkpoints != 3 || s.CheckpointBytes != 6144 {
+		t.Errorf("checkpoints = %d/%d bytes, want 3/6144", s.Checkpoints, s.CheckpointBytes)
 	}
 }
 

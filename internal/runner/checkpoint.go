@@ -1,0 +1,271 @@
+package runner
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/mp"
+)
+
+// Checkpoint/restart for the 2-D executor.
+//
+// Every rank snapshots its full tile-frontier state — the local block
+// including the ghost column, plus the index of the next tile to execute —
+// at deterministic tile boundaries (after tile t whenever (t+1) is a
+// multiple of Every). All generations are kept, so after a crash the ranks
+// can agree on the highest boundary every one of them reached: restore
+// takes an AllReduce(min) over the per-rank latest valid snapshot and each
+// rank reloads its file at exactly that tile. A rank with no (or only
+// corrupt) snapshots reports 0, which forces a fresh start for everyone —
+// the protocol never resumes from an inconsistent frontier.
+//
+// File layout (all integers big-endian):
+//
+//	offset  size  field
+//	0       4     magic "TLCP"
+//	4       4     version (currently 1)
+//	8       4     CRC-32 (IEEE) over bytes [12, EOF)
+//	12      4     rank
+//	16      4     comm size
+//	20      8     I1
+//	28      8     I2
+//	36      8     S1
+//	44      8     Base2
+//	52      8     Width
+//	60      8     next tile index
+//	68      8     payload length (must be 8×(Width+1)×I1)
+//	76      —     payload: Local2D.Data as big-endian float64
+//
+// Files are written to a temporary name and renamed into place, so a crash
+// mid-write can never leave a truncated file under a valid checkpoint name;
+// the CRC catches every other corruption.
+
+const (
+	ckMagic   = "TLCP"
+	ckVersion = 1
+	ckHdrLen  = 76
+)
+
+// CheckpointConfig enables periodic snapshots and restart for Run2D.
+type CheckpointConfig struct {
+	// Dir is the directory checkpoint files are written to (shared or
+	// per-rank; file names embed the rank). Empty disables checkpointing.
+	Dir string
+	// Every checkpoints after every Every-th tile. Zero disables.
+	Every int64
+	// Restore makes Run2D resume from the latest snapshot boundary all
+	// ranks reached, falling back to a fresh start when there is none.
+	Restore bool
+}
+
+func (cc CheckpointConfig) enabled() bool { return cc.Dir != "" && cc.Every > 0 }
+
+func (cc CheckpointConfig) validate() error {
+	if cc.Every < 0 {
+		return fmt.Errorf("runner: negative checkpoint interval %d", cc.Every)
+	}
+	if (cc.Every > 0 || cc.Restore) && cc.Dir == "" {
+		return fmt.Errorf("runner: checkpointing requested without a directory")
+	}
+	return nil
+}
+
+// CheckpointFile returns the snapshot path for a rank at a tile boundary
+// (nextTile is the first tile NOT yet executed).
+func CheckpointFile(dir string, rank int, nextTile int64) string {
+	return filepath.Join(dir, fmt.Sprintf("ck-r%04d-t%08d.bin", rank, nextTile))
+}
+
+// checkpointTiles lists the boundaries rank has snapshot files for,
+// ascending. Existence only — validity is the loader's business.
+func checkpointTiles(dir string, rank int) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var tiles []int64
+	for _, e := range entries {
+		var r int
+		var t int64
+		if n, _ := fmt.Sscanf(e.Name(), "ck-r%04d-t%08d.bin", &r, &t); n == 2 && r == rank {
+			tiles = append(tiles, t)
+		}
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tiles[i] < tiles[j] })
+	return tiles, nil
+}
+
+// LatestCheckpoint reports the newest snapshot boundary present on disk for
+// a rank (0 when there is none yet). It checks names only, not contents —
+// cheap enough for a launcher to poll.
+func LatestCheckpoint(dir string, rank int) (nextTile int64, path string, err error) {
+	tiles, err := checkpointTiles(dir, rank)
+	if err != nil || len(tiles) == 0 {
+		return 0, "", err
+	}
+	t := tiles[len(tiles)-1]
+	return t, CheckpointFile(dir, rank, t), nil
+}
+
+// writeCheckpoint snapshots l atomically (temp file + rename).
+func writeCheckpoint(dir string, commSize int, cfg Config2D, l *Local2D, nextTile int64) (int64, error) {
+	payloadLen := int64(8 * len(l.Data))
+	buf := make([]byte, ckHdrLen+payloadLen)
+	copy(buf[0:4], ckMagic)
+	binary.BigEndian.PutUint32(buf[4:8], ckVersion)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(int32(l.Rank)))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(int32(commSize)))
+	binary.BigEndian.PutUint64(buf[20:28], uint64(cfg.I1))
+	binary.BigEndian.PutUint64(buf[28:36], uint64(cfg.I2))
+	binary.BigEndian.PutUint64(buf[36:44], uint64(cfg.S1))
+	binary.BigEndian.PutUint64(buf[44:52], uint64(l.Base2))
+	binary.BigEndian.PutUint64(buf[52:60], uint64(l.Width))
+	binary.BigEndian.PutUint64(buf[60:68], uint64(nextTile))
+	binary.BigEndian.PutUint64(buf[68:76], uint64(payloadLen))
+	for i, v := range l.Data {
+		putF64(buf[ckHdrLen+8*i:], v)
+	}
+	binary.BigEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(buf[12:]))
+
+	path := CheckpointFile(dir, l.Rank, nextTile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return 0, fmt.Errorf("runner: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("runner: checkpoint rename: %w", err)
+	}
+	return int64(len(buf)), nil
+}
+
+// loadCheckpoint validates the snapshot at path against the run's geometry
+// and fills l.Data from it, returning the stored next-tile index.
+func loadCheckpoint(path string, commSize int, cfg Config2D, l *Local2D) (int64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < ckHdrLen {
+		return 0, fmt.Errorf("runner: checkpoint %s: truncated header (%d bytes)", path, len(buf))
+	}
+	if string(buf[0:4]) != ckMagic {
+		return 0, fmt.Errorf("runner: checkpoint %s: bad magic %q", path, buf[0:4])
+	}
+	if v := binary.BigEndian.Uint32(buf[4:8]); v != ckVersion {
+		return 0, fmt.Errorf("runner: checkpoint %s: unsupported version %d", path, v)
+	}
+	if got, want := crc32.ChecksumIEEE(buf[12:]), binary.BigEndian.Uint32(buf[8:12]); got != want {
+		return 0, fmt.Errorf("runner: checkpoint %s: CRC mismatch (file %08x, computed %08x)", path, want, got)
+	}
+	rank := int(int32(binary.BigEndian.Uint32(buf[12:16])))
+	size := int(int32(binary.BigEndian.Uint32(buf[16:20])))
+	i1 := int64(binary.BigEndian.Uint64(buf[20:28]))
+	i2 := int64(binary.BigEndian.Uint64(buf[28:36]))
+	s1 := int64(binary.BigEndian.Uint64(buf[36:44]))
+	base2 := int64(binary.BigEndian.Uint64(buf[44:52]))
+	width := int64(binary.BigEndian.Uint64(buf[52:60]))
+	nextTile := int64(binary.BigEndian.Uint64(buf[60:68]))
+	payloadLen := int64(binary.BigEndian.Uint64(buf[68:76]))
+	if rank != l.Rank || size != commSize ||
+		i1 != cfg.I1 || i2 != cfg.I2 || s1 != cfg.S1 ||
+		base2 != l.Base2 || width != l.Width {
+		return 0, fmt.Errorf("runner: checkpoint %s: geometry mismatch (rank %d/%d size %d space %dx%d s1 %d strip %d+%d)",
+			path, rank, l.Rank, size, i1, i2, s1, base2, width)
+	}
+	if nextTile <= 0 || nextTile > cfg.tiles1() {
+		return 0, fmt.Errorf("runner: checkpoint %s: next tile %d out of range", path, nextTile)
+	}
+	if payloadLen != int64(8*len(l.Data)) || int64(len(buf)) != ckHdrLen+payloadLen {
+		return 0, fmt.Errorf("runner: checkpoint %s: payload length %d, want %d", path, payloadLen, 8*len(l.Data))
+	}
+	for i := range l.Data {
+		l.Data[i] = getF64(buf[ckHdrLen+8*i:])
+	}
+	return nextTile, nil
+}
+
+// latestValid returns the newest snapshot boundary whose file actually
+// loads and matches the run's geometry (0 when none does). A corrupt
+// generation is skipped in favor of an older one; l is left holding the
+// winning snapshot's data (or untouched when there is none).
+func latestValid(dir string, commSize int, cfg Config2D, l *Local2D) int64 {
+	tiles, err := checkpointTiles(dir, l.Rank)
+	if err != nil {
+		return 0
+	}
+	for i := len(tiles) - 1; i >= 0; i-- {
+		t, err := loadCheckpoint(CheckpointFile(dir, l.Rank, tiles[i]), commSize, cfg, l)
+		if err == nil {
+			return t
+		}
+	}
+	return 0
+}
+
+// restore2D agrees on a global restart tile: every rank proposes its latest
+// valid snapshot boundary and the minimum wins, so the frontier is one
+// every rank can actually resume from. Returns the first tile to execute
+// (0 = fresh start), with l already holding the agreed snapshot if any.
+func restore2D(c mp.Comm, cfg Config2D, l *Local2D) (int64, error) {
+	mine := latestValid(cfg.Checkpoint.Dir, c.Size(), cfg, l)
+	agreed, err := mp.AllReduce(c, []float64{float64(mine)}, mp.OpMin)
+	if err != nil {
+		return 0, err
+	}
+	start := int64(agreed[0])
+	if start <= 0 {
+		// Someone has nothing to resume from: fresh start. Discard any
+		// snapshot latestValid left in l.
+		if mine > 0 {
+			for i := range l.Data {
+				l.Data[i] = 0
+			}
+		}
+		return 0, nil
+	}
+	if start == mine {
+		return start, nil
+	}
+	// Roll back to the agreed (older) generation; it must load cleanly.
+	t, err := loadCheckpoint(CheckpointFile(cfg.Checkpoint.Dir, l.Rank, start), c.Size(), cfg, l)
+	if err != nil {
+		return 0, fmt.Errorf("runner: rank %d cannot load agreed checkpoint at tile %d: %w", l.Rank, start, err)
+	}
+	return t, nil
+}
+
+// maybeCheckpoint snapshots after tile t when t+1 lands on a configured
+// boundary (and the run is not already over).
+func (r *run2d) maybeCheckpoint(t int64) error {
+	cc := r.cfg.Checkpoint
+	if !cc.enabled() || (t+1)%cc.Every != 0 || t+1 >= r.cfg.tiles1() {
+		return nil
+	}
+	n, err := writeCheckpoint(cc.Dir, r.c.Size(), r.cfg, r.l, t+1)
+	if err != nil {
+		return err
+	}
+	r.stats.Checkpoints++
+	r.stats.CheckpointBytes += n
+	return nil
+}
+
+// abortComm escalates a mid-run failure to a world abort so peers blocked
+// on this rank unwind promptly instead of waiting out their deadlines. An
+// error that already came from the failure machinery (the world is aborted
+// or closed) needs no escalation.
+func abortComm(c mp.Comm, err error) {
+	if err == nil || errors.Is(err, mp.ErrAborted) || errors.Is(err, mp.ErrClosed) {
+		return
+	}
+	_ = c.Abort(err)
+}

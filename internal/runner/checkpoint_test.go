@@ -1,0 +1,238 @@
+package runner
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mp"
+	"repro/internal/stencil"
+)
+
+// gridsByteIdentical compares two gathered grids bit-for-bit (the restart
+// guarantee is exact, not within-epsilon).
+func gridsByteIdentical(t *testing.T, got, want *stencil.Grid) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("grids differ at linear index %d: %x vs %x",
+				i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+func TestCheckpointFileNaming(t *testing.T) {
+	path := CheckpointFile("d", 3, 12)
+	if path != filepath.Join("d", "ck-r0003-t00000012.bin") {
+		t.Fatalf("unexpected checkpoint path %q", path)
+	}
+}
+
+func TestLatestCheckpointEmpty(t *testing.T) {
+	tile, path, err := LatestCheckpoint(t.TempDir(), 0)
+	if err != nil || tile != 0 || path != "" {
+		t.Fatalf("empty dir: tile=%d path=%q err=%v", tile, path, err)
+	}
+	// A directory that does not exist yet is also "no checkpoints", not an
+	// error — the launcher polls before the ranks create anything.
+	tile, _, err = LatestCheckpoint(filepath.Join(t.TempDir(), "nope"), 0)
+	if err != nil || tile != 0 {
+		t.Fatalf("missing dir: tile=%d err=%v", tile, err)
+	}
+}
+
+// checkpointAll2D runs cfg on n ranks and returns the gathered grid.
+func checkpointAll2D(t *testing.T, n int, cfg Config2D) *stencil.Grid {
+	t.Helper()
+	grid, _ := runAll2D(t, n, cfg)
+	return grid
+}
+
+func TestCheckpointRestoreByteIdentical(t *testing.T) {
+	for _, mode := range []Mode{Blocking, Overlapped} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const n = 4
+			ref := checkpointAll2D(t, n, base2D(mode))
+
+			// A checkpointing run leaves snapshots behind...
+			dir := t.TempDir()
+			cfg := base2D(mode)
+			cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+			grid, stats := runAll2D(t, n, cfg)
+			gridsByteIdentical(t, grid, ref)
+			for rank, st := range stats {
+				if st.Checkpoints == 0 || st.CheckpointBytes == 0 {
+					t.Fatalf("rank %d wrote no checkpoints: %+v", rank, st)
+				}
+				if tile, _, err := LatestCheckpoint(dir, rank); err != nil || tile == 0 {
+					t.Fatalf("rank %d has no snapshot on disk (tile=%d err=%v)", rank, tile, err)
+				}
+			}
+
+			// ...and a restore run resumes from the newest boundary,
+			// recomputing only the tail, yet the result is bit-identical.
+			cfg.Checkpoint.Restore = true
+			restored, rstats := runAll2D(t, n, cfg)
+			gridsByteIdentical(t, restored, ref)
+			full := base2D(mode).tiles1()
+			for rank, st := range rstats {
+				if int64(st.Tiles) >= full {
+					t.Errorf("rank %d recomputed all %d tiles — restore did not resume", rank, st.Tiles)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointCorruptGenerationFallsBack: a bit-flipped newest snapshot
+// must be rejected by the CRC and restore must fall back to the previous
+// generation — still bit-identical.
+func TestCheckpointCorruptGenerationFallsBack(t *testing.T) {
+	const n = 4
+	ref := checkpointAll2D(t, n, base2D(Blocking))
+	dir := t.TempDir()
+	cfg := base2D(Blocking)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+	if grid, _ := runAll2D(t, n, cfg); grid == nil {
+		t.Fatal("no grid")
+	}
+	// Flip one payload byte in rank 1's newest snapshot.
+	tile, path, err := LatestCheckpoint(dir, 1)
+	if err != nil || tile == 0 {
+		t.Fatalf("no snapshot to corrupt: tile=%d err=%v", tile, err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Checkpoint.Restore = true
+	restored, stats := runAll2D(t, n, cfg)
+	gridsByteIdentical(t, restored, ref)
+	// Every rank resumed from the boundary before the corrupt one.
+	for rank, st := range stats {
+		if want := base2D(Blocking).tiles1() - (tile - cfg.Checkpoint.Every); int64(st.Tiles) != want {
+			t.Errorf("rank %d recomputed %d tiles, want %d (fallback generation)", rank, st.Tiles, want)
+		}
+	}
+}
+
+// TestCheckpointAllCorruptMeansFreshStart: when one rank has nothing valid
+// at all, the AllReduce(min) forces a clean fresh start for everyone.
+func TestCheckpointAllCorruptMeansFreshStart(t *testing.T) {
+	const n = 2
+	ref := checkpointAll2D(t, n, base2D(Overlapped))
+	dir := t.TempDir()
+	cfg := base2D(Overlapped)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+	if grid, _ := runAll2D(t, n, cfg); grid == nil {
+		t.Fatal("no grid")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "ck-r0001-") {
+			if err := os.Truncate(filepath.Join(dir, e.Name()), 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cfg.Checkpoint.Restore = true
+	restored, stats := runAll2D(t, n, cfg)
+	gridsByteIdentical(t, restored, ref)
+	full := base2D(Overlapped).tiles1()
+	for rank, st := range stats {
+		if int64(st.Tiles) != full {
+			t.Errorf("rank %d computed %d tiles, want full %d (fresh start)", rank, st.Tiles, full)
+		}
+	}
+}
+
+// TestCheckpointGeometryMismatchRejected: a snapshot from a different run
+// shape must not load.
+func TestCheckpointGeometryMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := base2D(Blocking)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+	if grid, _ := runAll2D(t, 2, cfg); grid == nil {
+		t.Fatal("no grid")
+	}
+	other := cfg
+	other.S1 = 5 // different tiling: snapshots are incompatible
+	other.Checkpoint.Restore = true
+	restored, stats := runAll2D(t, 2, other)
+	want, _ := runAll2D(t, 2, func() Config2D { c := base2D(Blocking); c.S1 = 5; return c }())
+	gridsByteIdentical(t, restored, want)
+	for rank, st := range stats {
+		if int64(st.Tiles) != other.tiles1() {
+			t.Errorf("rank %d resumed from an incompatible snapshot (%d tiles)", rank, st.Tiles)
+		}
+	}
+}
+
+func TestCheckpointConfigValidate(t *testing.T) {
+	cfg := base2D(Blocking)
+	cfg.Checkpoint = CheckpointConfig{Every: 2} // no dir
+	if cfg.Validate(2) == nil {
+		t.Error("checkpoint interval without directory accepted")
+	}
+	cfg.Checkpoint = CheckpointConfig{Restore: true}
+	if cfg.Validate(2) == nil {
+		t.Error("restore without directory accepted")
+	}
+	cfg.Checkpoint = CheckpointConfig{Dir: "d", Every: -1}
+	if cfg.Validate(2) == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+// TestRunnerAbortsWorldOnError: a rank failing mid-run poisons the world so
+// its peers unwind with ErrAborted instead of waiting forever. The failure
+// is injected by giving one rank a deadline-bearing comm and no partner
+// traffic is NOT possible in lockstep runs, so instead use a faulty config:
+// rank 1 runs with a mismatched tag space via a wrapper that fails Send.
+func TestRunnerAbortsWorldOnError(t *testing.T) {
+	const n = 3
+	cfg := base2D(Blocking)
+	err := mp.Launch(n, func(c mp.Comm) error {
+		if c.Rank() == 1 {
+			c = failingComm{Comm: c}
+		}
+		_, _, err := Run2D(c, cfg)
+		return err
+	})
+	if err == nil {
+		t.Fatal("run with failing rank succeeded")
+	}
+	// The launcher reports the first failing rank; whichever it is, the
+	// error chain must be either the injected failure or the abort.
+	if !strings.Contains(err.Error(), "injected send failure") &&
+		!strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("unexpected failure chain: %v", err)
+	}
+}
+
+type failingComm struct{ mp.Comm }
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "injected send failure" }
+
+func (f failingComm) Send(dst, tag int, data []byte) error {
+	return errInjected{}
+}
+
+func (f failingComm) Isend(dst, tag int, data []byte) (mp.Request, error) {
+	return nil, errInjected{}
+}

@@ -53,6 +53,10 @@ type Stats struct {
 	MsgsSent  int
 	MsgsRecvd int
 	BytesSent int64
+	// Checkpoints counts snapshots written; CheckpointBytes their total
+	// on-disk size (2-D executor only).
+	Checkpoints     int
+	CheckpointBytes int64
 }
 
 // Local is one rank's subdomain after a run.
@@ -151,6 +155,7 @@ func Run(c mp.Comm, cfg Config) (*Local, Stats, error) {
 		err = r.runOverlapped()
 	}
 	if err != nil {
+		abortComm(c, err)
 		return nil, Stats{}, fmt.Errorf("runner: rank %d: %w", rank, err)
 	}
 	if err := c.Barrier(); err != nil {

@@ -28,6 +28,8 @@ type Config2D struct {
 	Kernel   stencil.Kernel
 	Boundary stencil.Boundary
 	Mode     Mode
+	// Checkpoint enables periodic snapshots and restart (see checkpoint.go).
+	Checkpoint CheckpointConfig
 }
 
 // Local2D is one rank's strip after a run.
@@ -76,7 +78,7 @@ func (cfg Config2D) Validate(commSize int) error {
 	if cfg.Mode != Blocking && cfg.Mode != Overlapped {
 		return fmt.Errorf("runner: unknown mode %d", int(cfg.Mode))
 	}
-	return nil
+	return cfg.Checkpoint.validate()
 }
 
 // stripWidth returns the column strip geometry for a rank: a balanced
@@ -129,17 +131,28 @@ func Run2D(c mp.Comm, cfg Config2D) (*Local2D, Stats, error) {
 		useWest: rank > 0,
 	}
 	r := &run2d{cfg: cfg, c: c, l: l}
+	// Agree on a restart tile before any compute: the AllReduce inside
+	// restore2D doubles as the first synchronization point.
+	var startTile int64
+	if cfg.Checkpoint.Restore {
+		var err error
+		if startTile, err = restore2D(c, cfg, l); err != nil {
+			abortComm(c, err)
+			return nil, Stats{}, fmt.Errorf("runner: rank %d restore: %w", rank, err)
+		}
+	}
 	if err := c.Barrier(); err != nil {
 		return nil, Stats{}, err
 	}
 	start := time.Now()
 	var err error
 	if cfg.Mode == Blocking {
-		err = r.runBlocking()
+		err = r.runBlocking(startTile)
 	} else {
-		err = r.runOverlapped()
+		err = r.runOverlapped(startTile)
 	}
 	if err != nil {
+		abortComm(c, err)
 		return nil, Stats{}, fmt.Errorf("runner: rank %d: %w", rank, err)
 	}
 	if err := c.Barrier(); err != nil {
@@ -226,9 +239,9 @@ func (r *run2d) computeTile(t int64) {
 	r.stats.Tiles++
 }
 
-func (r *run2d) runBlocking() error {
+func (r *run2d) runBlocking(start int64) error {
 	n := r.cfg.tiles1()
-	for t := int64(0); t < n; t++ {
+	for t := start; t < n; t++ {
 		if r.hasWest() {
 			buf := make([]byte, 8*r.ghostLen(t))
 			if _, err := r.c.Recv(r.l.Rank-1, int(t), buf); err != nil {
@@ -246,11 +259,14 @@ func (r *run2d) runBlocking() error {
 			r.stats.MsgsSent++
 			r.stats.BytesSent += int64(len(buf))
 		}
+		if err := r.maybeCheckpoint(t); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func (r *run2d) runOverlapped() error {
+func (r *run2d) runOverlapped(start int64) error {
 	n := r.cfg.tiles1()
 	type ghost struct {
 		req mp.Request
@@ -265,14 +281,16 @@ func (r *run2d) runOverlapped() error {
 		g.req, err = r.c.Irecv(r.l.Rank-1, int(t), g.buf)
 		return g, err
 	}
-	cur, err := post(0)
+	cur, err := post(start)
 	if err != nil {
 		return err
 	}
 	var sendReq mp.Request
-	for t := int64(0); t < n; t++ {
-		// Send the results of tile t−1 (non-blocking).
-		if t > 0 && r.hasEast() {
+	for t := start; t < n; t++ {
+		// Send the results of tile t−1 (non-blocking). On a restored run
+		// tile start−1's face was consumed by the neighbor before its
+		// checkpoint, so the first send is tile start's face, next loop.
+		if t > start && r.hasEast() {
 			buf := r.packEast(t - 1)
 			if sendReq, err = r.c.Isend(r.l.Rank+1, int(t-1), buf); err != nil {
 				return err
@@ -301,6 +319,9 @@ func (r *run2d) runOverlapped() error {
 				return err
 			}
 			sendReq = nil
+		}
+		if err := r.maybeCheckpoint(t); err != nil {
+			return err
 		}
 		cur = next
 	}
