@@ -5,7 +5,7 @@ GO ?= go
 
 BENCH ?= Fig9$$|Fig10$$|Fig11$$|Fig12$$|SimEngine$$|SimBuild$$|SweepParallel$$
 
-.PHONY: build test race bench fault-smoke docs-check check
+.PHONY: build test race bench fault-smoke vet lint docs-check check
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,23 @@ bench:
 fault-smoke:
 	$(GO) run ./cmd/tilebench -quick -fault-seed 7 -fault-intensity 1 -deadline fault-sweep
 
-# Documentation hygiene: vet, gofmt-clean tree, and every markdown link and
-# anchor resolving (cmd/docscheck; offline, external URLs are skipped).
-docs-check:
+# Toolchain hygiene: go vet and a gofmt-clean tree (testdata included).
+vet:
 	$(GO) vet ./...
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+
+# Domain invariants: the tilevet analyzer suite (internal/lint) enforces
+# the overlap, determinism, reserved-tag and deadline contracts statically
+# (DESIGN.md §9). Exit non-zero with file:line diagnostics on violation.
+# The same suite also runs in-process from internal/lint's tests, so plain
+# `go test ./...` fails on violations too.
+lint:
+	$(GO) run ./cmd/tilevet .
+
+# Documentation hygiene: every markdown link and anchor resolving
+# (cmd/docscheck; offline, external URLs are skipped).
+docs-check:
 	$(GO) run ./cmd/docscheck .
 
-check: build test race fault-smoke docs-check
+check: build test race fault-smoke vet lint docs-check

@@ -11,6 +11,11 @@ import (
 	"repro/internal/stencil"
 )
 
+// verifyDeadline bounds every blocking mp wait in the verify worlds: a
+// schedule bug that deadlocks a rank fails the run within this bound
+// instead of hanging CI forever (the blockingdeadline contract).
+const verifyDeadline = 2 * time.Minute
+
 // runVerify executes both real executors (the 3-D grid and the 2-D strip)
 // in both modes on the in-process fabric — including a pure-rendezvous
 // pass — and checks every result bit-exact against a sequential run. This
@@ -33,8 +38,8 @@ func runVerify() error {
 			name string
 			w    mp.WorldOptions
 		}{
-			{"eager", mp.WorldOptions{RendezvousThreshold: -1}},
-			{"rendezvous", mp.WorldOptions{RendezvousThreshold: 0}},
+			{"eager", mp.WorldOptions{RendezvousThreshold: -1, Deadline: verifyDeadline}},
+			{"rendezvous", mp.WorldOptions{RendezvousThreshold: 0, Deadline: verifyDeadline}},
 		} {
 			cfg3.Mode = mode
 			diff, elapsed, err := verify3D(cfg3, opts.w)
@@ -113,7 +118,7 @@ func verify2D(cfg runner.Config2D, ranks int) (float64, time.Duration, error) {
 	var grid *stencil.Grid
 	var elapsed time.Duration
 	var mu sync.Mutex
-	err := mp.Launch(ranks, func(c mp.Comm) error {
+	err := mp.LaunchOpts(ranks, mp.WorldOptions{RendezvousThreshold: -1, Deadline: verifyDeadline}, func(c mp.Comm) error {
 		l, st, err := runner.Run2D(c, cfg)
 		if err != nil {
 			return err

@@ -384,22 +384,19 @@ func newObserver(addr, snap string) (*observer, error) {
 
 // instrument registers a collector for rank and returns the TCP options
 // (base plus the transport event hook) and the Comm wrapper to apply after
-// connecting.
-func (o *observer) instrument(rank, size int, base *mp.TCPOptions) (*mp.TCPOptions, func(mp.Comm) mp.Comm) {
+// connecting. base is taken by value: the deadline-bearing literal in
+// baseTCPOptions stays the only construction site for transport options.
+func (o *observer) instrument(rank, size int, base mp.TCPOptions) (*mp.TCPOptions, func(mp.Comm) mp.Comm) {
 	if o == nil {
-		return base, func(c mp.Comm) mp.Comm { return c }
+		return &base, func(c mp.Comm) mp.Comm { return c }
 	}
 	m := obs.NewCommMetrics(rank, size)
 	o.reg.Register(m)
 	o.mu.Lock()
 	o.ms[rank] = m
 	o.mu.Unlock()
-	opts := &mp.TCPOptions{}
-	if base != nil {
-		*opts = *base
-	}
-	opts.OnEvent = m.TCPEvent
-	return opts, func(c mp.Comm) mp.Comm { return obs.InstrumentComm(c, m) }
+	base.OnEvent = m.TCPEvent
+	return &base, func(c mp.Comm) mp.Comm { return obs.InstrumentComm(c, m) }
 }
 
 // metrics returns rank's collector, or nil when instrumentation is off.
@@ -478,8 +475,8 @@ func run() error {
 var theObserver *observer
 
 // baseTCPOptions carries the failure-handling flags into every transport.
-func baseTCPOptions(cancel <-chan struct{}) *mp.TCPOptions {
-	return &mp.TCPOptions{
+func baseTCPOptions(cancel <-chan struct{}) mp.TCPOptions {
+	return mp.TCPOptions{
 		Cancel:    cancel,
 		Deadline:  *deadlineFlag,
 		Heartbeat: *heartbeatFlag,

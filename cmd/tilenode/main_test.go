@@ -113,7 +113,7 @@ func TestSpawnRunInstrumentedSnapshot(t *testing.T) {
 	}
 	counting := make([]*mp.CountingComm, n)
 	connect := func(rank int, cancel <-chan struct{}) (mp.Comm, error) {
-		opts, wrap := obsv.instrument(rank, n, &mp.TCPOptions{
+		opts, wrap := obsv.instrument(rank, n, mp.TCPOptions{
 			DialTimeout: 30 * time.Second, Cancel: cancel,
 		})
 		c, err := mp.ConnectTCP(rank, n, addrs, opts)

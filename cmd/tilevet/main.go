@@ -1,0 +1,88 @@
+// Command tilevet runs the repo's domain analyzer suite (internal/lint)
+// over the whole module and prints file:line:col diagnostics suitable for
+// CI logs:
+//
+//	tilevet .           # analyze the module containing . (exit 1 on findings)
+//	tilevet -list       # describe the analyzers
+//	tilevet -run determinism,reservedtag .
+//
+// The suite statically enforces the contracts the paper's overlapped
+// schedule and the bit-identical sweep/checkpoint guarantees rest on; see
+// DESIGN.md §9 for the analyzer ↔ contract map. Exit status: 0 clean,
+// 1 diagnostics reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+var (
+	listFlag = flag.Bool("list", false, "list the analyzers and exit")
+	runFlag  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+)
+
+func main() {
+	flag.Parse()
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	dir := "."
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: tilevet [-list] [-run a,b] [dir]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		dir = flag.Arg(0)
+	}
+	diags, err := analyze(dir, *runFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tilevet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tilevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func analyze(dir, run string) ([]lint.Diagnostic, error) {
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := lint.Analyzers()
+	if run != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0:0]
+		for _, n := range strings.Split(run, ",") {
+			a := byName[strings.TrimSpace(n)]
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", n)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	ld, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := ld.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	return lint.Relativize(root, lint.Run(pkgs, analyzers)), nil
+}

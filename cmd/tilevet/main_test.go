@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeUnknownAnalyzer: -run with a bad name is a usage error, not
+// a silent no-op pass.
+func TestAnalyzeUnknownAnalyzer(t *testing.T) {
+	if _, err := analyze(".", "nosuch"); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("want unknown-analyzer error, got %v", err)
+	}
+}
+
+// TestAnalyzeModuleClean mirrors the CI invocation: the full suite over
+// the module containing this package reports nothing at HEAD.
+func TestAnalyzeModuleClean(t *testing.T) {
+	diags, err := analyze(".", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerBlockingDeadline enforces the failure model (DESIGN.md §8) at
+// the process edge: a cmd/ binary whose blocking mp operations have no
+// deadline hangs forever when a peer dies, which is exactly the failure
+// mode the deadline/abort/heartbeat machinery of the failure-handling PR
+// exists to rule out. Library and test code may build deadline-less
+// worlds (unit tests want waits to block), but the deployable binaries
+// must always thread the deadline knob.
+//
+// The rules, applied only to packages under cmd/:
+//
+//   - mp.Launch and mp.NewWorld are forbidden — they hardwire a world
+//     with no deadline. Use mp.LaunchOpts / mp.NewWorldOpts.
+//   - mp.ConnectTCP must not be passed a nil options literal.
+//   - every mp.WorldOptions / mp.TCPOptions composite literal must spell
+//     out its Deadline field explicitly, so a reviewer sees the chosen
+//     bound (possibly a flag value; zero is an explicit "forever") at the
+//     construction site.
+var AnalyzerBlockingDeadline = &Analyzer{
+	Name: "blockingdeadline",
+	Doc:  "cmd/ binaries reach mp only through deadline-bearing communicator options",
+	Run:  runBlockingDeadline,
+}
+
+// inCmdScope reports whether path contains a cmd/ segment.
+func inCmdScope(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+func runBlockingDeadline(p *Package) []Diagnostic {
+	if !inCmdScope(p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	inspect(p, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			fn := mpFuncCallee(p, node)
+			if fn == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "Launch", "NewWorld":
+				out = append(out, diag(p, "blockingdeadline", node.Pos(),
+					"mp.%s builds a world with no deadline: cmd binaries must use mp.%sOpts with WorldOptions.Deadline (failure model)", fn.Name(), fn.Name()))
+			case "ConnectTCP":
+				if len(node.Args) == 4 && isNilIdent(p, node.Args[3]) {
+					out = append(out, diag(p, "blockingdeadline", node.Args[3].Pos(),
+						"mp.ConnectTCP with nil options has no deadline: pass a TCPOptions with Deadline set (failure model)"))
+				}
+			}
+		case *ast.CompositeLit:
+			name, ok := mpOptionsLiteral(p, node)
+			if !ok {
+				return true
+			}
+			if !setsField(node, "Deadline") {
+				out = append(out, diag(p, "blockingdeadline", node.Pos(),
+					"mp.%s literal without an explicit Deadline field: cmd binaries must thread the deadline knob (failure model)", name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mpFuncCallee returns the internal/mp package-level function a call
+// invokes, or nil.
+func mpFuncCallee(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || !isMPPackage(fn.Pkg()) {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // methods are not the constructors we police
+	}
+	return fn
+}
+
+func isNilIdent(p *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// mpOptionsLiteral reports whether lit is an mp.WorldOptions or
+// mp.TCPOptions composite literal, returning the type name.
+func mpOptionsLiteral(p *Package, lit *ast.CompositeLit) (string, bool) {
+	tv, ok := p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || !isMPPackage(named.Obj().Pkg()) {
+		return "", false
+	}
+	name := named.Obj().Name()
+	if name != "WorldOptions" && name != "TCPOptions" {
+		return "", false
+	}
+	return name, true
+}
+
+// setsField reports whether a struct composite literal gives field name a
+// value, either keyed or via a full positional literal.
+func setsField(lit *ast.CompositeLit, name string) bool {
+	keyed := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	// A positional literal must list every field, Deadline included.
+	return !keyed && len(lit.Elts) > 0
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDeterminism guards the repo's bit-identical replay guarantees:
+// sweep results are memoized and compared bit-for-bit across worker
+// counts (DESIGN.md §6), fault plans replay from a seed (§7), and
+// checkpoint restarts must reproduce the exact grid (§8). All of that
+// collapses if simulation or accounting code reads a wall clock, draws
+// from the process-global rand source, or lets Go's randomized map
+// iteration order leak into results, orderings, or emitted output.
+//
+// In the deterministic core packages (internal/sim, internal/simnet,
+// internal/fault, internal/experiments, internal/runner) the analyzer
+// forbids:
+//
+//   - time.Now / time.Since / time.Until — wall clocks. The simulator's
+//     clock is its event queue; real elapsed-time measurements that never
+//     feed results carry a //tilevet:allow justification.
+//   - package-level math/rand (and math/rand/v2) draws — the global
+//     source is shared, unseeded, and irreproducible. Explicit
+//     rand.New(rand.NewSource(seed)) instances are fine.
+//   - ranging over a map unless the loop body is order-insensitive:
+//     only stores into other maps, delete calls, integer accumulation,
+//     or collecting the keys into a slice (for sorting) are allowed.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall clocks, global rand, or map-iteration-order leaks in the deterministic core packages",
+	Run:  runDeterminism,
+}
+
+// deterministicScope lists the package-path suffixes holding the
+// bit-identical core.
+var deterministicScope = []string{
+	"internal/sim",
+	"internal/simnet",
+	"internal/fault",
+	"internal/experiments",
+	"internal/runner",
+}
+
+// pathMatches reports whether path is, or ends with a "/"-separated, suf.
+func pathMatches(path, suf string) bool {
+	return path == suf || strings.HasSuffix(path, "/"+suf)
+}
+
+func inDeterministicScope(path string) bool {
+	for _, s := range deterministicScope {
+		if pathMatches(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit, seedable sources rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(p *Package) []Diagnostic {
+	if !inDeterministicScope(p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	inspect(p, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[node]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on explicit sources (e.g. *rand.Rand) are fine
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				switch obj.Name() {
+				case "Now", "Since", "Until":
+					out = append(out, diag(p, "determinism", node.Pos(),
+						"time.%s reads the wall clock: the deterministic core must be bit-identical across runs (simulated time only)", obj.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[obj.Name()] && !strings.Contains(obj.Name(), ".") {
+					out = append(out, diag(p, "determinism", node.Pos(),
+						"rand.%s draws from the process-global source: use rand.New(rand.NewSource(seed)) so sweeps replay", obj.Name()))
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := p.Info.Types[node.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !orderInsensitiveBody(p, node) {
+				out = append(out, diag(p, "determinism", node.Pos(),
+					"map iteration order flows out of this loop: collect and sort the keys, or confine the body to map stores / integer accumulation"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// orderInsensitiveBody reports whether every statement of a range-over-map
+// body is insensitive to iteration order: stores into maps, deletes,
+// integer accumulation, or appending the range key to a slice (the
+// collect-then-sort idiom).
+func orderInsensitiveBody(p *Package, rs *ast.RangeStmt) bool {
+	keyObj := rangeVarObj(p, rs.Key)
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(p, s, keyObj) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(p, s.X) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(p, call.Fun, "delete") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveAssign(p *Package, s *ast.AssignStmt, keyObj types.Object) bool {
+	switch s.Tok {
+	case token.ASSIGN:
+		// Stores where every destination is a map slot are commutative
+		// across iterations (one store per distinct key).
+		allMapStores := true
+		for _, l := range s.Lhs {
+			ix, ok := l.(*ast.IndexExpr)
+			if !ok || !isMapExpr(p, ix.X) {
+				allMapStores = false
+				break
+			}
+		}
+		if allMapStores {
+			return true
+		}
+		// keys = append(keys, k): collecting the keys for a later sort —
+		// the canonical deterministic-iteration idiom.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 && keyObj != nil {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(p, call.Fun, "append") && len(call.Args) == 2 {
+				if id, ok := call.Args[1].(*ast.Ident); ok && p.Info.Uses[id] == keyObj {
+					return true
+				}
+			}
+		}
+		return false
+	case token.ADD_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Integer accumulation commutes; float accumulation does not
+		// (rounding is order-dependent).
+		return len(s.Lhs) == 1 && isIntegerExpr(p, s.Lhs[0])
+	default:
+		return false
+	}
+}
+
+func rangeVarObj(p *Package, key ast.Expr) types.Object {
+	id, ok := key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+func isMapExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isIntegerExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(p *Package, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,194 @@
+// Package lint is tilevet's analyzer suite: a self-contained static
+// checker (stdlib go/ast + go/parser + go/types only, no module
+// dependencies) that mechanically enforces the repo's domain contracts —
+// the invariants the paper's overlapped schedule and the sweeps'
+// bit-identical reproducibility rest on, which PRs 1–4 enforced only by
+// convention and chaos tests.
+//
+// Four analyzers ship (see their files for the precise rules and the
+// paper contract each one guards):
+//
+//   - unwaitedhandle: every non-blocking mp request handle must be
+//     consumed (Wait/Test/WaitAll, stored, or returned) — a leaked handle
+//     silently breaks the compute/send/receive overlap triplet.
+//   - determinism: the simulation/replay packages must not read wall
+//     clocks, the global rand source, or emit map-iteration order.
+//   - reservedtag: negative message-tag literals (the transport's control
+//     plane: barrier, abort, heartbeat −5, goodbye −6) stay inside
+//     internal/mp.
+//   - blockingdeadline: cmd/ binaries construct communicators only
+//     through the deadline-bearing option structs from the failure model.
+//
+// # Suppressions
+//
+// A finding that is a deliberate, justified exception is silenced with a
+// directive on the flagged line or the line above:
+//
+//	//tilevet:allow determinism -- wall-clock Stats.Elapsed never feeds the grid
+//
+// The reason after "--" is mandatory and directives that suppress nothing
+// are themselves diagnostics, so the exception list cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col CI logs.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string // one-line contract statement, shown by tilevet -list
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerUnwaitedHandle,
+		AnalyzerDeterminism,
+		AnalyzerReservedTag,
+		AnalyzerBlockingDeadline,
+	}
+}
+
+// directive is one parsed //tilevet:allow comment.
+type directive struct {
+	pos       token.Position
+	analyzers map[string]bool
+	hasReason bool
+	used      bool
+}
+
+const directivePrefix = "//tilevet:allow"
+
+// parseDirectives collects the suppression directives of a package, keyed
+// by filename and the source line(s) they cover: a directive at line L
+// silences findings on L (trailing comment) and L+1 (comment above).
+func parseDirectives(p *Package) map[string]map[int]*directive {
+	out := map[string]map[int]*directive{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				d := &directive{pos: pos, analyzers: map[string]bool{}}
+				names, reason, found := strings.Cut(rest, "--")
+				d.hasReason = found && strings.TrimSpace(reason) != ""
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						d.analyzers[n] = true
+					}
+				}
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]*directive{}
+				}
+				out[pos.Filename][pos.Line] = d
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages, applies suppression
+// directives, and appends framework diagnostics for malformed or unused
+// directives. Results are sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		dirs := parseDirectives(p)
+		lookup := func(d Diagnostic) *directive {
+			byLine := dirs[d.Pos.Filename]
+			if byLine == nil {
+				return nil
+			}
+			for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+				if dir := byLine[line]; dir != nil && dir.analyzers[d.Analyzer] {
+					return dir
+				}
+			}
+			return nil
+		}
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if dir := lookup(d); dir != nil {
+					dir.used = true
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		for _, byLine := range dirs {
+			for _, dir := range byLine {
+				switch {
+				case !dir.hasReason:
+					out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "tilevet",
+						Message: `suppression directive needs a justification: //tilevet:allow <analyzer> -- <reason>`})
+				case !dir.used && len(analyzers) == len(Analyzers()):
+					// Only judge staleness when the full suite ran; a
+					// partial run cannot tell an unused directive from one
+					// aimed at an analyzer that was filtered out.
+					out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "tilevet",
+						Message: "suppression directive matches no finding; delete it"})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// Relativize rewrites diagnostic filenames relative to root (stable CI
+// output); positions outside root are left absolute.
+func Relativize(root string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// diag is a convenience constructor used by the analyzers.
+func diag(p *Package, name string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(pos), Analyzer: name, Message: fmt.Sprintf(format, args...)}
+}
+
+// inspect walks every file of the package.
+func inspect(p *Package, fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

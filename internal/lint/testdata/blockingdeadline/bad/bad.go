@@ -1,0 +1,17 @@
+// Package bad builds deadline-less communicators the way a cmd/ binary
+// must not. Type-checked under a spoofed cmd/ path.
+package bad
+
+import "repro/internal/mp"
+
+func spawnWorld(n int) error {
+	return mp.Launch(n, func(c mp.Comm) error { return c.Barrier() })
+}
+
+func dialMesh(rank, n int, addrs []string) (mp.Comm, error) {
+	return mp.ConnectTCP(rank, n, addrs, nil)
+}
+
+func buildOpts() mp.WorldOptions {
+	return mp.WorldOptions{RendezvousThreshold: -1}
+}

@@ -1,0 +1,18 @@
+// Package good threads the deadline knob through every communicator
+// construction site. Type-checked under a spoofed cmd/ path.
+package good
+
+import (
+	"time"
+
+	"repro/internal/mp"
+)
+
+func spawnWorld(n int, d time.Duration) error {
+	opts := mp.WorldOptions{RendezvousThreshold: -1, Deadline: d}
+	return mp.LaunchOpts(n, opts, func(c mp.Comm) error { return c.Barrier() })
+}
+
+func dialMesh(rank, n int, addrs []string, d time.Duration) (mp.Comm, error) {
+	return mp.ConnectTCP(rank, n, addrs, &mp.TCPOptions{Deadline: d})
+}

@@ -1,0 +1,36 @@
+// Package bad commits every determinism sin the analyzer knows: wall
+// clocks, the global rand source, and map-iteration order reaching
+// emitted output. It is type-checked under a spoofed internal/sim path.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since)
+}
+
+func jitter() float64 {
+	return rand.Float64()
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // iteration order reaches output
+	}
+}
+
+func collectValues(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // element order is iteration order
+	}
+	return vals
+}

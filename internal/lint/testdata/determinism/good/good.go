@@ -1,0 +1,49 @@
+// Package good shows the sanctioned forms: seeded sources, order-
+// insensitive map loops, the collect-then-sort idiom, and a justified
+// suppression. It is type-checked under a spoofed internal/sim path.
+package good
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func draws(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k // map-to-map store is order-insensitive
+	}
+	return inv
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation commutes
+	}
+	return n
+}
+
+func wallClock() time.Time {
+	//tilevet:allow determinism -- fixture: proves a justified suppression is honored
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Package good sticks to non-negative tags and mp's own named wildcards.
+// Type-checked under a spoofed internal/runner path.
+package good
+
+import "repro/internal/mp"
+
+func listen(c mp.Comm, buf []byte) error {
+	if _, err := c.Recv(mp.AnySource, mp.AnyTag, buf); err != nil {
+		return err
+	}
+	return c.Send(0, 7, buf)
+}

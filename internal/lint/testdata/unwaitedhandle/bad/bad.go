@@ -1,0 +1,24 @@
+// Package bad leaks non-blocking request handles in every way the
+// unwaitedhandle analyzer flags.
+package bad
+
+import "repro/internal/mp"
+
+func leakDiscard(c mp.Comm, data []byte) {
+	c.Isend(1, 0, data) // handle dropped on the floor
+}
+
+func leakBlank(c mp.Comm, buf []byte) {
+	_, _ = c.Irecv(0, 0, buf) // handle discarded with _
+}
+
+func leakUnconsumed(c mp.Comm, data []byte) error {
+	req, err := c.Isend(1, 0, data)
+	if err != nil {
+		return err
+	}
+	if req == nil { // a nil check is not consumption
+		return nil
+	}
+	return nil
+}

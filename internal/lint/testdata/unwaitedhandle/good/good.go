@@ -1,0 +1,47 @@
+// Package good consumes every non-blocking request handle it starts.
+package good
+
+import "repro/internal/mp"
+
+type mailbox struct{ pending mp.Request }
+
+func waited(c mp.Comm, data []byte) error {
+	req, err := c.Isend(1, 0, data)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+func waitAll(c mp.Comm, data []byte) error {
+	var reqs []mp.Request
+	for t := 0; t < 4; t++ {
+		req, err := c.Isend(1, t, data)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return mp.WaitAll(reqs...)
+}
+
+func stored(c mp.Comm, m *mailbox, buf []byte) error {
+	var err error
+	m.pending, err = c.Irecv(0, 0, buf)
+	return err
+}
+
+func returned(c mp.Comm, buf []byte) (mp.Request, error) {
+	return c.Irecv(mp.AnySource, mp.AnyTag, buf)
+}
+
+func propagated(c mp.Comm, buf []byte) error {
+	next, err := c.Irecv(0, 1, buf)
+	if err != nil {
+		return err
+	}
+	cur := next // propagation counts as consumption
+	_, err = cur.Wait()
+	return err
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerUnwaitedHandle enforces the paper's overlap contract on
+// non-blocking communication: ProcNB's correctness argument (and the
+// A1–A3/B1–B4 cost accounting) assumes every Isend/Irecv started in one
+// tile step is completed by a matching Wait before its buffer is reused —
+// a handle that is started and then dropped silently degrades the
+// compute/send/receive triplet into an unfinished send or a receive whose
+// ghost cells are never awaited.
+//
+// The rule: the result of any call returning an mp.Request must be
+// consumed — its Wait/Test called, passed to a function (mp.WaitAll,
+// append, a helper), stored into a field/slice/map, propagated by
+// assignment, or returned. Discarding the handle (blank identifier or a
+// bare expression statement) or binding it to a variable that is never
+// consumed is a diagnostic. The check is object-based and deliberately
+// conservative: any consuming use anywhere in the file clears the
+// variable.
+var AnalyzerUnwaitedHandle = &Analyzer{
+	Name: "unwaitedhandle",
+	Doc:  "every mp non-blocking request handle must reach a Wait/WaitAll, be stored, or be returned",
+	Run:  runUnwaitedHandle,
+}
+
+// isMPPackage reports whether pkg is the message-passing layer.
+func isMPPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == "internal/mp" || strings.HasSuffix(p, "/internal/mp")
+}
+
+// isRequestType reports whether t is mp.Request.
+func isRequestType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Request" && isMPPackage(n.Obj().Pkg())
+}
+
+// producesRequest reports whether call's (first) result is an mp.Request.
+func producesRequest(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		return tup.Len() > 0 && isRequestType(tup.At(0).Type())
+	}
+	return isRequestType(tv.Type)
+}
+
+func runUnwaitedHandle(p *Package) []Diagnostic {
+	var out []Diagnostic
+
+	// Pass 1: find request producers and how their results are bound.
+	tracked := map[types.Object]*ast.CallExpr{} // handle var -> producing call
+	inspect(p, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && producesRequest(p, call) {
+				out = append(out, diag(p, "unwaitedhandle", call.Pos(),
+					"request handle discarded: the overlap schedule requires every Isend/Irecv to reach a Wait"))
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !producesRequest(p, call) || len(s.Lhs) == 0 {
+				return true
+			}
+			switch lhs := s.Lhs[0].(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					out = append(out, diag(p, "unwaitedhandle", call.Pos(),
+						"request handle discarded with _: the overlap schedule requires every Isend/Irecv to reach a Wait"))
+					return true
+				}
+				obj := p.Info.Defs[lhs]
+				if obj == nil {
+					obj = p.Info.Uses[lhs]
+				}
+				if obj != nil {
+					if _, seen := tracked[obj]; !seen {
+						tracked[obj] = call
+					}
+				}
+			default:
+				// Field, index or dereference store: the handle escapes
+				// into a structure; its consumer is elsewhere.
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return out
+	}
+
+	// Pass 2: hunt for a consuming use of each tracked handle variable.
+	consumed := map[types.Object]bool{}
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if id, ok := n.(*ast.Ident); ok && len(stack) > 0 {
+				obj := p.Info.Uses[id]
+				if obj != nil {
+					if _, want := tracked[obj]; want && consumingUse(id, stack) {
+						consumed[obj] = true
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	for obj, call := range tracked {
+		if !consumed[obj] {
+			out = append(out, diag(p, "unwaitedhandle", call.Pos(),
+				"request handle %q is never consumed (no Wait/Test, no WaitAll, not stored or returned)", obj.Name()))
+		}
+	}
+	return out
+}
+
+// consumingUse reports whether the identifier use at the top of stack
+// counts as consuming the handle. Comparisons (nil checks) and plain
+// reassignments do not; method calls, call arguments, stores, sends and
+// returns do.
+func consumingUse(id *ast.Ident, stack []ast.Node) bool {
+	parent := stack[len(stack)-1]
+	switch par := parent.(type) {
+	case *ast.SelectorExpr:
+		// req.Wait(), req.Test(), even a bare field access: the handle's
+		// own API is being exercised.
+		return par.X == id
+	case *ast.CallExpr:
+		for _, a := range par.Args {
+			if a == id {
+				return true
+			}
+		}
+		return par.Fun == id
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, r := range par.Rhs {
+			if r == id {
+				return true // value propagated to another binding
+			}
+		}
+		return false // left-hand side: reassignment, not consumption
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.SendStmt:
+		return par.Value == id
+	case *ast.UnaryExpr:
+		return par.Op.String() == "&" // address taken: escapes
+	case *ast.RangeStmt:
+		return par.X == id
+	default:
+		return false
+	}
+}
