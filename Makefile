@@ -5,7 +5,7 @@ GO ?= go
 
 BENCH ?= Fig9$$|Fig10$$|Fig11$$|Fig12$$|SimEngine$$|SimBuild$$|SweepParallel$$
 
-.PHONY: build test race bench fault-smoke vet lint docs-check check
+.PHONY: build test race bench bench-smoke fault-smoke vet lint docs-check check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ race:
 
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run '^$$' .
+
+# One iteration of the optimum benchmarks: exercises the tiered search and
+# the exhaustive sweep end to end (and keeps both compiling and running) in
+# about a second.
+bench-smoke:
+	$(GO) test -bench 'OptimumTiered$$|OptimumSweep$$' -benchtime=1x -run '^$$' .
 
 # Degradation sweep at a fixed seed: exercises the whole fault-injection
 # path end to end and fails if degradation is not graceful or the
@@ -47,4 +53,4 @@ lint:
 docs-check:
 	$(GO) run ./cmd/docscheck .
 
-check: build test race fault-smoke vet lint docs-check
+check: build test race fault-smoke bench-smoke vet lint docs-check

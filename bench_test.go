@@ -96,11 +96,11 @@ func BenchmarkFig12(b *testing.B) {
 	}
 	var imp float64
 	for i := 0; i < b.N; i++ {
-		vOv, tOv, err := s.Optimum(sim.Overlapped)
+		vOv, tOv, err := s.OptimumRefined(sim.Overlapped)
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, tBl, err := s.Optimum(sim.Blocking)
+		_, tBl, err := s.OptimumRefined(sim.Blocking)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,6 +109,40 @@ func BenchmarkFig12(b *testing.B) {
 	}
 	b.ReportMetric(imp, "improvement_pct")
 }
+
+// benchOptimum measures one ladder-granularity optimum query per mode and
+// iteration on a fresh cache (so every DES evaluation is real), reporting
+// the mean DES evaluations a query costs — the headline number of the
+// tiered-search rework.
+func benchOptimum(b *testing.B, exact bool) {
+	s := experiments.Fig9()
+	if !*fullScale {
+		s.Grid.K /= 16
+		s.Heights = experiments.Ladder(4, s.Grid.K/4)
+	}
+	s.Exact = exact
+	var evals uint64
+	for i := 0; i < b.N; i++ {
+		s.Cache = sim.NewCache()
+		if _, _, err := s.Optimum(sim.Overlapped); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Optimum(sim.Blocking); err != nil {
+			b.Fatal(err)
+		}
+		evals += s.Cache.Stats().Evals
+	}
+	b.ReportMetric(float64(evals)/float64(2*b.N), "des_evals/query")
+}
+
+// BenchmarkOptimumTiered runs the tiered search: analytic seed, a few
+// certified probes. Compare its time/op and des_evals/query against
+// BenchmarkOptimumSweep.
+func BenchmarkOptimumTiered(b *testing.B) { benchOptimum(b, false) }
+
+// BenchmarkOptimumSweep runs the same queries with the tiered path
+// disabled — the exhaustive full-ladder sweep, the pre-rework cost.
+func BenchmarkOptimumSweep(b *testing.B) { benchOptimum(b, true) }
 
 // BenchmarkExample1Model evaluates the paper's Example 1 closed form
 // (eq. 3 walk-through; the result is asserted in internal/model tests).

@@ -35,11 +35,12 @@ var (
 	traceOut       = flag.String("o", "trace.json", "for trace: output path for the Chrome trace-event JSON")
 	traceMode      = flag.String("trace-mode", "overlapped", "for trace: which schedule to export (blocking | overlapped)")
 	traceV         = flag.Int64("trace-v", 0, "for trace: tile height (0 searches for the schedule's optimum)")
+	exact          = flag.Bool("exact", false, "force optimum searches onto the exhaustive tier (skip the analytic fast path)")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-deadline] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|trace|all\n")
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-exact] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-deadline] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|trace|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -90,8 +91,10 @@ func runAll(ids []string) int {
 	return 0
 }
 
-// shrink reduces a sweep's space for -quick runs.
+// shrink applies the global sweep flags: -quick reduces the space ~16x,
+// -exact forces optimum searches onto the exhaustive tier.
 func shrink(s experiments.Sweep) experiments.Sweep {
+	s.Exact = *exact
 	if !*quick {
 		return s
 	}
@@ -137,16 +140,20 @@ func run(id string) error {
 			}
 			fmt.Printf("(csv written to %s)\n", *csvOut)
 		}
-		vOv, tOv, err := s.Optimum(sim.Overlapped)
+		preOpt := s.Cache.Stats()
+		vOv, tOv, err := s.OptimumRefined(sim.Overlapped)
 		if err != nil {
 			return err
 		}
-		vBl, tBl, err := s.Optimum(sim.Blocking)
+		vBl, tBl, err := s.OptimumRefined(sim.Blocking)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("optimum: overlap V=%d t=%.6fs | blocking V=%d t=%.6fs | improvement %.0f%%\n",
 			vOv, tOv, vBl, tBl, 100*(1-tOv/tBl))
+		postOpt := s.Cache.Stats()
+		fmt.Printf("optimum search cost: %d DES evaluations beyond the sweep (%d cache hits)\n",
+			postOpt.Evals-preOpt.Evals, postOpt.Hits-preOpt.Hits)
 		if rep, err := experiments.CheckShape(rows); err == nil {
 			verdict := "REPRODUCED"
 			if !rep.OK() {
@@ -161,7 +168,11 @@ func run(id string) error {
 		if *quick {
 			fmt.Println("fig12 ignores -quick (the table is defined on the paper's spaces)")
 		}
-		rows, err := experiments.Fig12()
+		sweeps := []experiments.Sweep{experiments.Fig9(), experiments.Fig10(), experiments.Fig11()}
+		for i := range sweeps {
+			sweeps[i].Exact = *exact
+		}
+		rows, err := experiments.Fig12For(sweeps)
 		if err != nil {
 			return err
 		}
@@ -255,7 +266,7 @@ func run(id string) error {
 		// does the overlapped schedule keep its edge as the cluster sours?
 		base := shrink(experiments.Fig9())
 		base.Cache = sim.NewCache()
-		vOpt, _, err := base.Optimum(sim.Overlapped)
+		vOpt, _, err := base.OptimumRefined(sim.Overlapped)
 		if err != nil {
 			return err
 		}

@@ -31,7 +31,7 @@ func runTrace() error {
 	v := *traceV
 	if v == 0 {
 		var err error
-		if v, _, err = s.Optimum(mode); err != nil {
+		if v, _, err = s.OptimumRefined(mode); err != nil {
 			return err
 		}
 		fmt.Printf("trace: using %s-optimal tile height V=%d (override with -trace-v)\n", *traceMode, v)

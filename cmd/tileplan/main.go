@@ -7,6 +7,14 @@
 //
 //	tileplan -space 10000x1000 -deps "1,1;1,0;0,1" [-tile 10x10 | -g 100]
 //	         [-machine example1|pentium] [-simulate] [-gantt]
+//
+// With -optimum (3-D rectangular spaces only) it instead answers the
+// planning query directly: the simulated-optimal tile height for both
+// schedules on a -procs processor grid, via the tiered search — analytic
+// closed form, a few targeted simulator probes, certified or falling back
+// to the exhaustive sweep (-exact forces the latter):
+//
+//	tileplan -space 16x16x16384 -procs 4x4 -optimum [-exact]
 package main
 
 import (
@@ -38,6 +46,9 @@ var (
 	emit        = flag.Bool("emit", false, "print the tiled loop nest and the ProcB/ProcNB pseudocode")
 	svgOut      = flag.String("svg", "", "with -simulate -gantt: also write SVG timelines to <path>-blocking.svg / <path>-overlapped.svg")
 	chromeOut   = flag.String("chrome", "", "with -simulate -gantt: also write Perfetto/chrome trace JSON to <path>-<mode>.json")
+	optimum     = flag.Bool("optimum", false, "answer the optimum-tile-height query for a 3-D space (tiered search)")
+	procsFlag   = flag.String("procs", "4x4", "with -optimum: processor grid, e.g. 4x4")
+	exactFlag   = flag.Bool("exact", false, "with -optimum: force the exhaustive tier (skip the analytic fast path)")
 )
 
 func main() {
@@ -97,6 +108,9 @@ func run() error {
 		}
 	} else if m, err = model.NamedMachine(*machineFlag); err != nil {
 		return err
+	}
+	if *optimum {
+		return runOptimum(sizes, m)
 	}
 	p, err := core.NewProblem(sp, d)
 	if err != nil {

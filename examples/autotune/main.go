@@ -52,11 +52,11 @@ func main() {
 		Machine: m,
 		Cap:     sim.CapDMA,
 	}
-	vOv, tOv, err := s.Optimum(sim.Overlapped)
+	vOv, tOv, err := s.OptimumRefined(sim.Overlapped)
 	if err != nil {
 		log.Fatal(err)
 	}
-	vBl, tBl, err := s.Optimum(sim.Blocking)
+	vBl, tBl, err := s.OptimumRefined(sim.Blocking)
 	if err != nil {
 		log.Fatal(err)
 	}

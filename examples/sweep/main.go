@@ -47,11 +47,11 @@ func main() {
 		fmt.Printf("           blocking |%s\n", strings.Repeat("#", bl))
 	}
 
-	vOv, tOv, err := s.Optimum(sim.Overlapped)
+	vOv, tOv, err := s.OptimumRefined(sim.Overlapped)
 	if err != nil {
 		log.Fatal(err)
 	}
-	vBl, tBl, err := s.Optimum(sim.Blocking)
+	vBl, tBl, err := s.OptimumRefined(sim.Blocking)
 	if err != nil {
 		log.Fatal(err)
 	}

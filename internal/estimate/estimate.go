@@ -1,0 +1,308 @@
+// Package estimate implements the tiered optimum-tile-height search: an
+// analytical fast path over the eq. 3/4 cost models with a certified
+// fallback to the exact discrete-event sweep.
+//
+// The exact optimum search simulates every rung of the height ladder — a
+// dozen-plus DES runs per query. This package answers the same query with
+// a handful of targeted probes:
+//
+//	tier 1 (analytic): the closed-form V* = √(K·a/(C·b)) seeds a bracket
+//	  of two adjacent ladder rungs around the predicted optimum.
+//	tier 2 (probe): the bracket rungs are simulated; from the better one a
+//	  neighbor walk descends the ladder. Unprobed neighbors whose
+//	  calibrated model prediction exceeds the incumbent by a safety margin
+//	  are elided without simulating; the rest are probed.
+//	tier 3 (certify): the analytic predictions at every probed rung are
+//	  compared against their DES results — both raw and after a one-ratio
+//	  geometric-mean calibration. If either disagreement exceeds its
+//	  tolerance, or the search hit a degenerate case (tied bracket, no
+//	  usable seed), the result is discarded and
+//	tier 4 (exact): the full exact sweep runs instead, so answers are
+//	  never worse than today's exhaustive search.
+//
+// Certification assumes the DES makespan curve is unimodal over the
+// ladder, which is what the paper's T(g) = P(g)·(A1+A2+A3) analysis
+// predicts; the tolerance checks exist to catch the configurations where
+// the model (and therefore the unimodality argument) stops describing the
+// simulator, and route them to the exact tier.
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Default certification constants, tuned on the paper's Fig. 9-11 spaces
+// and a randomized machine population: the calibrated residual is the
+// sharp gate (model-vs-DES shape error stays below ~3% where the affine
+// machine model holds), the raw tolerance is the blunt one that rejects
+// regimes the model does not describe at all.
+const (
+	DefaultTol      = 0.30 // max |model − probe| / probe over probed rungs
+	DefaultResidTol = 0.06 // same, after geometric-mean ratio calibration
+	DefaultMargin   = 2.0  // elision safety margin, in units of ResidTol
+)
+
+// Tier identifies which tier produced an Outcome.
+type Tier int
+
+const (
+	// TierCertified means the analytic-seeded probe search certified its
+	// candidate: the answer cost only the recorded probes.
+	TierCertified Tier = iota
+	// TierExact means the exact sweep produced the answer, either because
+	// certification failed or because the caller forced it.
+	TierExact
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierCertified:
+		return "certified"
+	case TierExact:
+		return "exact"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// Config describes one tiered optimum query. Model and Probe price a tile
+// height analytically and by simulation respectively; both must be
+// deterministic for a given height. The search never looks outside
+// Heights.
+type Config struct {
+	// Heights is the candidate ladder. It is copied, sorted, and deduped;
+	// the search returns one of these values.
+	Heights []int64
+	// SeedV is the closed-form optimum seeding the bracket. A non-positive
+	// or non-finite seed sends the query straight to the exact tier.
+	SeedV float64
+	// Model prices a height with the analytic cost model (seconds).
+	Model func(v int64) float64
+	// Probe prices a height on the simulator (seconds). Errors abort the
+	// query — the exact tier would hit the same failure.
+	Probe func(v int64) (float64, error)
+	// Exact computes the reference answer for the fallback tier. When nil,
+	// the fallback probes every height sequentially and returns the
+	// earliest height of minimal time — the same tie-break as the
+	// experiments package's exact search.
+	Exact func() (v int64, t float64, err error)
+
+	// Tol, ResidTol and Margin override the certification constants; zero
+	// or negative values select the defaults.
+	Tol      float64
+	ResidTol float64
+	Margin   float64
+}
+
+// Outcome reports a tiered query's answer and how it was obtained.
+type Outcome struct {
+	V    int64   // optimal tile height
+	T    float64 // its simulated completion time
+	Tier Tier
+	// Probes counts the DES probes the tiered stage issued, plus the
+	// fallback's own probes when Config.Exact was nil. A caller-supplied
+	// Exact does its own accounting (e.g. via sim.CacheStats).
+	Probes int
+	// FallbackReason says why the exact tier ran: "seed" (unusable
+	// analytic seed), "ladder" (fewer than two candidate heights), "tie"
+	// (bracket probes tied), "tol" / "resid" (certification tolerance
+	// exceeded). Empty for certified answers.
+	FallbackReason string
+}
+
+// probeRec is one probed (height, time) pair. Probes are kept in issue
+// order in a slice — not ranged from a map — so every derived quantity
+// (calibration ratio, certification maxima) is computed in a fixed order.
+type probeRec struct {
+	v int64
+	t float64
+}
+
+// Optimum answers one tiered optimum query.
+func Optimum(cfg Config) (Outcome, error) {
+	if cfg.Model == nil || cfg.Probe == nil {
+		return Outcome{}, fmt.Errorf("estimate: Config.Model and Config.Probe are required")
+	}
+	tol, residTol, margin := cfg.Tol, cfg.ResidTol, cfg.Margin
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if residTol <= 0 {
+		residTol = DefaultResidTol
+	}
+	if margin <= 0 {
+		margin = DefaultMargin
+	}
+	heights := dedupeSorted(cfg.Heights)
+
+	var (
+		recs   []probeRec
+		seen   = make(map[int64]float64, 8)
+		nProbe int
+	)
+	probe := func(v int64) (float64, error) {
+		if t, ok := seen[v]; ok {
+			return t, nil
+		}
+		t, err := cfg.Probe(v)
+		if err != nil {
+			return 0, err
+		}
+		seen[v] = t
+		recs = append(recs, probeRec{v, t})
+		nProbe++
+		return t, nil
+	}
+	fallback := func(reason string) (Outcome, error) {
+		if cfg.Exact != nil {
+			v, t, err := cfg.Exact()
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{V: v, T: t, Tier: TierExact, Probes: nProbe, FallbackReason: reason}, nil
+		}
+		best, bestT := int64(-1), 0.0
+		for _, v := range heights {
+			t, err := probe(v)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if best < 0 || t < bestT {
+				best, bestT = v, t
+			}
+		}
+		return Outcome{V: best, T: bestT, Tier: TierExact, Probes: nProbe, FallbackReason: reason}, nil
+	}
+
+	if len(heights) < 2 {
+		if len(heights) == 0 {
+			return Outcome{}, fmt.Errorf("estimate: no candidate heights")
+		}
+		return fallback("ladder")
+	}
+	if !(cfg.SeedV > 0) || math.IsInf(cfg.SeedV, 1) {
+		return fallback("seed")
+	}
+
+	// Tier 1: bracket the two ladder rungs straddling the analytic seed
+	// (the edge rungs when the seed falls outside the ladder).
+	i := sort.Search(len(heights), func(i int) bool { return float64(heights[i]) >= cfg.SeedV })
+	lo, hi := i-1, i
+	switch {
+	case i == 0:
+		lo, hi = 0, 1
+	case i == len(heights):
+		lo, hi = len(heights)-2, len(heights)-1
+	}
+
+	// Tier 2: probe the bracket and walk downhill along the ladder.
+	tLo, err := probe(heights[lo])
+	if err != nil {
+		return Outcome{}, err
+	}
+	tHi, err := probe(heights[hi])
+	if err != nil {
+		return Outcome{}, err
+	}
+	best := lo
+	if tHi == tLo {
+		// A tied bracket gives the walk no descent direction; the exact
+		// tier owes the caller the earliest-minimum answer.
+		return fallback("tie")
+	}
+	if tHi < tLo {
+		best = hi
+	}
+
+	// stay reports whether the walk should NOT move to neighbor index j:
+	// either j is off the ladder, or j is certifiably no better than the
+	// incumbent. A probed neighbor is compared directly — ties keep the
+	// walk moving down but not up, matching the exact tier's
+	// earliest-minimum tie-break. An unprobed neighbor whose calibrated
+	// prediction exceeds the incumbent by the safety margin is elided
+	// (certified worse without simulating); otherwise it is probed. The
+	// calibration ratio rho rescales the model through the incumbent's
+	// probe, so elision only trusts the model's local shape, not its
+	// absolute scale. All float comparisons are written so that a NaN
+	// prediction fails them and forces a real probe.
+	stay := func(j int, movingUp bool) (bool, error) {
+		if j < 0 || j >= len(heights) {
+			return true, nil
+		}
+		v := heights[j]
+		tBest := seen[heights[best]]
+		if t, ok := seen[v]; ok {
+			if movingUp {
+				return !(t < tBest), nil
+			}
+			return t > tBest, nil
+		}
+		rho := tBest / cfg.Model(heights[best])
+		if pred := rho * cfg.Model(v); pred > tBest*(1+margin*residTol) {
+			return true, nil
+		}
+		t, err := probe(v)
+		if err != nil {
+			return false, err
+		}
+		if movingUp {
+			return !(t < tBest), nil
+		}
+		return t > tBest, nil
+	}
+	for steps := 0; steps < len(heights); steps++ {
+		stayDown, err := stay(best-1, false)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if !stayDown {
+			best--
+			continue
+		}
+		stayUp, err := stay(best+1, true)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if !stayUp {
+			best++
+			continue
+		}
+		break
+	}
+
+	// Tier 3: certify. Recompute the calibration ratio as the geometric
+	// mean over every probe, then require both the raw and the calibrated
+	// model-vs-DES disagreement to stay within tolerance at every probed
+	// rung. The checks are written as !(err <= tol) so a NaN from a
+	// degenerate model fails certification instead of passing it.
+	logSum := 0.0
+	for _, r := range recs {
+		logSum += math.Log(r.t / cfg.Model(r.v))
+	}
+	rho := math.Exp(logSum / float64(len(recs)))
+	for _, r := range recs {
+		pred := cfg.Model(r.v)
+		if e := math.Abs(pred-r.t) / r.t; !(e <= tol) {
+			return fallback("tol")
+		}
+		if e := math.Abs(rho*pred-r.t) / r.t; !(e <= residTol) {
+			return fallback("resid")
+		}
+	}
+	return Outcome{V: heights[best], T: seen[heights[best]], Tier: TierCertified, Probes: nProbe}, nil
+}
+
+// dedupeSorted returns a sorted copy of vs with duplicates removed.
+func dedupeSorted(vs []int64) []int64 {
+	out := append([]int64(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,301 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// vCurve is the analytic shape every synthetic test uses: a smooth convex
+// curve T(v) = a/v + b·v with its continuous minimum at √(a/b).
+func vCurve(a, b float64) func(v int64) float64 {
+	return func(v int64) float64 { return a/float64(v) + b*float64(v) }
+}
+
+// argminOf probes every height and returns the earliest minimum — the
+// reference the tiered search must reproduce.
+func argminOf(heights []int64, f func(v int64) float64) (int64, float64) {
+	best, bestT := int64(-1), 0.0
+	for _, v := range heights {
+		if t := f(v); best < 0 || t < bestT {
+			best, bestT = v, t
+		}
+	}
+	return best, bestT
+}
+
+func ladder(lo, hi int64) []int64 {
+	var vs []int64
+	for v := lo; v <= hi; v *= 2 {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+func probeOf(f func(v int64) float64) func(v int64) (float64, error) {
+	return func(v int64) (float64, error) { return f(v), nil }
+}
+
+func TestOptimumCertifiedPerfectModel(t *testing.T) {
+	curve := vCurve(4096, 1) // continuous minimum at v=64
+	heights := ladder(1, 1024)
+	cfg := Config{
+		Heights: heights,
+		SeedV:   64,
+		Model:   curve,
+		Probe:   probeOf(curve),
+	}
+	out, err := Optimum(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantT := argminOf(heights, curve)
+	if out.V != wantV || out.T != wantT {
+		t.Errorf("got V=%d T=%g, want V=%d T=%g", out.V, out.T, wantV, wantT)
+	}
+	if out.Tier != TierCertified || out.FallbackReason != "" {
+		t.Errorf("perfect model not certified: %+v", out)
+	}
+	// The whole point: far fewer probes than the ladder has rungs.
+	if out.Probes >= len(heights)/2 {
+		t.Errorf("certified search used %d probes on a %d-rung ladder", out.Probes, len(heights))
+	}
+}
+
+// TestOptimumCertifiedBiasedModel: a constant-factor model bias within the
+// raw tolerance is calibrated away by the residual check, so the fast path
+// still certifies.
+func TestOptimumCertifiedBiasedModel(t *testing.T) {
+	curve := vCurve(4096, 1)
+	biased := func(v int64) float64 { return 1.2 * curve(v) }
+	heights := ladder(1, 1024)
+	out, err := Optimum(Config{Heights: heights, SeedV: 64, Model: biased, Probe: probeOf(curve)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, _ := argminOf(heights, curve)
+	if out.V != wantV || out.Tier != TierCertified {
+		t.Errorf("biased-but-calibratable model: %+v, want certified V=%d", out, wantV)
+	}
+}
+
+// TestOptimumFallbackLargeBias: a bias beyond the raw tolerance fails
+// certification even though calibration would fix it — the model is no
+// longer trusted to describe the simulator — and the exact tier answers.
+func TestOptimumFallbackLargeBias(t *testing.T) {
+	curve := vCurve(4096, 1)
+	biased := func(v int64) float64 { return 2 * curve(v) }
+	heights := ladder(1, 1024)
+	out, err := Optimum(Config{Heights: heights, SeedV: 64, Model: biased, Probe: probeOf(curve)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantT := argminOf(heights, curve)
+	if out.V != wantV || out.T != wantT {
+		t.Errorf("fallback answer wrong: %+v", out)
+	}
+	if out.Tier != TierExact || out.FallbackReason != "tol" {
+		t.Errorf("expected tol fallback: %+v", out)
+	}
+}
+
+// TestOptimumFallbackShapeError: a probe curve whose shape deviates from
+// the model (deterministic sawtooth on top of the trend) trips the
+// calibrated residual check; the exact tier still finds the true argmin of
+// the jittery curve.
+func TestOptimumFallbackShapeError(t *testing.T) {
+	curve := vCurve(4096, 1)
+	jittery := func(v int64) float64 {
+		return curve(v) * (1 + 0.15*float64(v%3)) // 0%, 15%, 30% bumps
+	}
+	heights := ladder(1, 1024)
+	out, err := Optimum(Config{Heights: heights, SeedV: 64, Model: curve, Probe: probeOf(jittery)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantT := argminOf(heights, jittery)
+	if out.V != wantV || out.T != wantT {
+		t.Errorf("fallback answer wrong: %+v, want V=%d T=%g", out, wantV, wantT)
+	}
+	if out.Tier != TierExact {
+		t.Errorf("shape error certified: %+v", out)
+	}
+	if out.FallbackReason != "resid" && out.FallbackReason != "tol" {
+		t.Errorf("unexpected reason %q", out.FallbackReason)
+	}
+}
+
+// TestOptimumFallbackTie: a flat curve ties the bracket probes, which
+// leaves the walk without a descent direction; the exact tier owes the
+// earliest minimum.
+func TestOptimumFallbackTie(t *testing.T) {
+	flat := func(v int64) float64 { return 1 }
+	heights := ladder(1, 256)
+	out, err := Optimum(Config{Heights: heights, SeedV: 16, Model: flat, Probe: probeOf(flat)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.V != heights[0] || out.Tier != TierExact || out.FallbackReason != "tie" {
+		t.Errorf("tied curve: %+v, want exact earliest minimum V=%d", out, heights[0])
+	}
+}
+
+func TestOptimumDegenerateInputs(t *testing.T) {
+	curve := vCurve(256, 1)
+	cases := []struct {
+		name   string
+		cfg    Config
+		reason string
+	}{
+		{"no seed", Config{Heights: ladder(1, 64), Model: curve, Probe: probeOf(curve)}, "seed"},
+		{"nan seed", Config{Heights: ladder(1, 64), SeedV: math.NaN(), Model: curve, Probe: probeOf(curve)}, "seed"},
+		{"inf seed", Config{Heights: ladder(1, 64), SeedV: math.Inf(1), Model: curve, Probe: probeOf(curve)}, "seed"},
+		{"one rung", Config{Heights: []int64{16}, SeedV: 16, Model: curve, Probe: probeOf(curve)}, "ladder"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := Optimum(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Tier != TierExact || out.FallbackReason != tc.reason {
+				t.Errorf("got %+v, want exact fallback with reason %q", out, tc.reason)
+			}
+			wantV, wantT := argminOf(dedupeSorted(tc.cfg.Heights), curve)
+			if out.V != wantV || out.T != wantT {
+				t.Errorf("fallback answer V=%d T=%g, want V=%d T=%g", out.V, out.T, wantV, wantT)
+			}
+		})
+	}
+}
+
+func TestOptimumErrors(t *testing.T) {
+	curve := vCurve(256, 1)
+	if _, err := Optimum(Config{Heights: ladder(1, 64), SeedV: 8, Probe: probeOf(curve)}); err == nil {
+		t.Error("missing Model accepted")
+	}
+	if _, err := Optimum(Config{Heights: ladder(1, 64), SeedV: 8, Model: curve}); err == nil {
+		t.Error("missing Probe accepted")
+	}
+	if _, err := Optimum(Config{Model: curve, Probe: probeOf(curve), SeedV: 8}); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	boom := errors.New("probe failed")
+	_, err := Optimum(Config{
+		Heights: ladder(1, 64), SeedV: 8, Model: curve,
+		Probe: func(v int64) (float64, error) { return 0, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("probe error not propagated: %v", err)
+	}
+}
+
+// TestOptimumUsesCallerExact: a supplied Exact replaces the sequential
+// fallback scan.
+func TestOptimumUsesCallerExact(t *testing.T) {
+	flat := func(v int64) float64 { return 1 }
+	out, err := Optimum(Config{
+		Heights: ladder(1, 64), SeedV: 8, Model: flat, Probe: probeOf(flat),
+		Exact: func() (int64, float64, error) { return 42, 4.2, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.V != 42 || out.T != 4.2 || out.Tier != TierExact {
+		t.Errorf("caller Exact ignored: %+v", out)
+	}
+	boom := errors.New("exact failed")
+	_, err = Optimum(Config{
+		Heights: ladder(1, 64), SeedV: 8, Model: flat, Probe: probeOf(flat),
+		Exact: func() (int64, float64, error) { return 0, 0, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("exact error not propagated: %v", err)
+	}
+}
+
+// TestOptimumSeedOutsideLadder: seeds below the first and above the last
+// rung bracket the corresponding edge and still land on the true argmin.
+func TestOptimumSeedOutsideLadder(t *testing.T) {
+	heights := ladder(8, 512)
+	for _, tc := range []struct {
+		name string
+		a, b float64 // curve params
+		seed float64
+	}{
+		{"seed below", 16, 1, 0.5},       // minimum at v=4, below the ladder
+		{"seed above", 1 << 22, 1, 4096}, // minimum at v=2048, above the ladder
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			curve := vCurve(tc.a, tc.b)
+			out, err := Optimum(Config{Heights: heights, SeedV: tc.seed, Model: curve, Probe: probeOf(curve)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV, _ := argminOf(heights, curve)
+			if out.V != wantV {
+				t.Errorf("got V=%d, want edge argmin %d (outcome %+v)", out.V, wantV, out)
+			}
+		})
+	}
+}
+
+// TestOptimumUnsortedDuplicatedHeights: the ladder is normalized before
+// use, so order and duplicates don't change the answer.
+func TestOptimumUnsortedDuplicatedHeights(t *testing.T) {
+	curve := vCurve(4096, 1)
+	messy := []int64{256, 16, 64, 16, 1, 1024, 4, 256, 4}
+	out, err := Optimum(Config{Heights: messy, SeedV: 64, Model: curve, Probe: probeOf(curve)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, _ := argminOf(dedupeSorted(messy), curve)
+	if out.V != wantV {
+		t.Errorf("got V=%d, want %d", out.V, wantV)
+	}
+}
+
+// TestOptimumElisionSkipsFarRungs: on a steep certifiable curve the walk
+// must elide the neighbors it can price analytically instead of probing
+// them — the probe count stays near the bracket size even as the ladder
+// grows.
+func TestOptimumElisionSkipsFarRungs(t *testing.T) {
+	curve := vCurve(1<<20, 1) // minimum at v=1024
+	heights := ladder(1, 1<<14)
+	out, err := Optimum(Config{Heights: heights, SeedV: 1024, Model: curve, Probe: probeOf(curve)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tier != TierCertified {
+		t.Fatalf("not certified: %+v", out)
+	}
+	if out.Probes > 4 {
+		t.Errorf("elision failed: %d probes for a sharp certified minimum", out.Probes)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierCertified.String() != "certified" || TierExact.String() != "exact" {
+		t.Error("tier names wrong")
+	}
+	if !strings.Contains(Tier(7).String(), "7") {
+		t.Error("unknown tier not numbered")
+	}
+}
+
+func TestDedupeSorted(t *testing.T) {
+	got := dedupeSorted([]int64{5, 3, 5, 1, 3, 9})
+	want := []int64{1, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out := dedupeSorted(nil); len(out) != 0 {
+		t.Errorf("dedupe(nil) = %v", out)
+	}
+}

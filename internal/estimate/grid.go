@@ -1,0 +1,37 @@
+package estimate
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// ForGrid wires a Config to the Grid3D stack: the mode's closed form
+// (OptimalVOverlapAnalytic / OptimalVBlockingAnalytic) seeds the bracket,
+// the matching eq. 3/4 prediction prices unprobed heights, and probes run
+// through the memoized simulator, so repeated queries and later sweeps
+// share DES work. If the closed form has no solution for the
+// configuration, the seed is left unusable and Optimum routes the query to
+// the exact tier. The caller may still set Config.Exact and the
+// certification overrides on the returned value.
+func ForGrid(g model.Grid3D, m model.Machine, mode sim.Mode, cap sim.Capability, c *sim.Cache, heights []int64) Config {
+	cfg := Config{Heights: heights}
+	if mode == sim.Blocking {
+		cfg.Model = func(v int64) float64 { return g.PredictNonOverlap(v, m) }
+		if v, _, err := g.OptimalVBlockingAnalytic(m); err == nil {
+			cfg.SeedV = v
+		}
+	} else {
+		cfg.Model = func(v int64) float64 { return g.PredictOverlap(v, m) }
+		if v, _, err := g.OptimalVOverlapAnalytic(m); err == nil {
+			cfg.SeedV = v
+		}
+	}
+	cfg.Probe = func(v int64) (float64, error) {
+		r, err := c.SimulateGrid(g, v, m, mode, cap)
+		if err != nil {
+			return 0, err
+		}
+		return r.Makespan, nil
+	}
+	return cfg
+}

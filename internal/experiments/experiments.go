@@ -39,6 +39,12 @@ type Sweep struct {
 	// fills the OverlapEff/BlockingEff columns of the rows. Off by default:
 	// the pass costs an interval log per simulation.
 	Metrics bool
+	// Exact forces every Optimum query onto the exhaustive tier, skipping
+	// the analytic fast path (the CLIs expose it as -exact). The tiered
+	// search returns the same heights — the fallback guarantees it when
+	// certification fails — so this is an escape hatch for auditing, not a
+	// correctness knob.
+	Exact bool
 }
 
 // cache returns the sweep's shared cache, or a fresh private one.
@@ -79,8 +85,13 @@ type SweepRow struct {
 }
 
 // Ladder returns a geometric ladder of tile heights from lo to hi
-// (inclusive-ish), the sweep grid the figures use.
+// (inclusive-ish), the sweep grid the figures use. A lo below 1 is clamped
+// to 1 (a non-positive start would never double its way past hi), and an
+// empty range returns nil.
 func Ladder(lo, hi int64) []int64 {
+	if lo < 1 {
+		lo = 1
+	}
 	var vs []int64
 	for v := lo; v <= hi; v *= 2 {
 		vs = append(vs, v)
@@ -93,7 +104,15 @@ func Ladder(lo, hi int64) []int64 {
 // increasing: clamping and integer rounding collapse overlapping rungs, so
 // duplicates are dropped and the merged list is sorted before returning —
 // otherwise the optimum search would simulate the same height repeatedly.
+// A degenerate bracket (hi < lo) yields nil; lo == hi yields exactly that
+// height.
 func Refine(center, lo, hi int64, n int) []int64 {
+	if lo < 1 {
+		lo = 1 // tile heights start at 1
+	}
+	if hi < lo {
+		return nil
+	}
 	if n < 2 {
 		n = 2
 	}
@@ -270,56 +289,6 @@ func (s Sweep) RunSequential() ([]SweepRow, error) {
 		rows = append(rows, s.rowAt(v, ov, bl))
 	}
 	return rows, nil
-}
-
-// Optimum finds the simulated-optimal tile height for the given mode by a
-// ladder pass followed by a multiplicative refinement around the best rung.
-// Each pass evaluates its heights on the parallel worker pool; refinement
-// rungs that duplicate already-evaluated ladder rungs are skipped (they
-// could never win the strict-improvement comparison), and the cache
-// deduplicates any heights shared with previous Run or Optimum calls.
-func (s Sweep) Optimum(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
-	c := s.cache()
-	eval := func(hs []int64) ([]sim.Result, error) {
-		pts := make([]simPoint, len(hs))
-		for i, v := range hs {
-			pts[i] = simPoint{v, mode}
-		}
-		return s.evalPoints(c, pts)
-	}
-	best := int64(-1)
-	bestT := 0.0
-	// consider scans heights in input order with a strict-improvement
-	// update, matching the sequential search exactly: the earliest height
-	// of minimal makespan wins.
-	consider := func(hs []int64, rs []sim.Result) {
-		for i, v := range hs {
-			if t := rs[i].Makespan; best < 0 || t < bestT {
-				best, bestT = v, t
-			}
-		}
-	}
-	ladder, err := eval(s.Heights)
-	if err != nil {
-		return 0, 0, err
-	}
-	consider(s.Heights, ladder)
-	seen := make(map[int64]bool, len(s.Heights))
-	for _, v := range s.Heights {
-		seen[v] = true
-	}
-	var refined []int64
-	for _, v := range Refine(best, 1, s.Grid.K, 13) {
-		if !seen[v] {
-			refined = append(refined, v)
-		}
-	}
-	fine, err := eval(refined)
-	if err != nil {
-		return 0, 0, err
-	}
-	consider(refined, fine)
-	return best, bestT, nil
 }
 
 // Format renders the sweep as an aligned text table. Sweeps run with Metrics

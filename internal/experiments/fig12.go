@@ -58,11 +58,11 @@ func Fig12For(sweeps []Sweep) ([]Fig12Row, error) {
 			// each search's ladder+refine passes.
 			s.Cache = sim.NewCache()
 		}
-		vOv, tOv, err := s.Optimum(sim.Overlapped)
+		vOv, tOv, err := s.OptimumRefined(sim.Overlapped)
 		if err != nil {
 			return nil, err
 		}
-		vBl, tBl, err := s.Optimum(sim.Blocking)
+		vBl, tBl, err := s.OptimumRefined(sim.Blocking)
 		if err != nil {
 			return nil, err
 		}

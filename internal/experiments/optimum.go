@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/estimate"
+	"repro/internal/sim"
+)
+
+// This file is the sweep-level optimum search. Since the tiered-estimator
+// rework it comes in three flavors:
+//
+//   - Optimum / OptimumDetail: the tiered search (internal/estimate) at
+//     ladder granularity over OptimumHeights. The analytic closed form
+//     seeds a bracket, a few targeted DES probes localize the minimum, and
+//     a certification step either vouches for the answer or falls back to
+//     OptimumExact — so the result is always the exact ladder argmin,
+//     usually at a fraction of the DES evaluations.
+//   - OptimumExact: the exhaustive reference — every OptimumHeights rung
+//     simulated on the parallel worker pool, earliest minimum wins.
+//   - OptimumRefined: Optimum plus the multiplicative refinement pass
+//     around the winning rung, the search the CLIs and figures print
+//     (finer-than-ladder granularity, same answers as before the rework).
+
+// OptimumHeights returns the candidate ladder the optimum search ranges
+// over: the sweep's own Heights extended with the full geometric ladder
+// 1..K, deduped and sorted. The figures' sweeps span Ladder(4, K/4), so
+// the extension only adds extreme rungs that never win; extending the
+// range keeps the optimum search meaningful for sweeps defined on a
+// narrow window (e.g. the autotune example).
+func (s Sweep) OptimumHeights() []int64 {
+	merged := append(append([]int64(nil), s.Heights...), Ladder(1, s.Grid.K)...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	w := 0
+	for i, v := range merged {
+		if i == 0 || v != merged[w-1] {
+			merged[w] = v
+			w++
+		}
+	}
+	return merged[:w]
+}
+
+// Optimum finds the simulated-optimal tile height among OptimumHeights for
+// the given mode via the tiered search: identical to OptimumExact's
+// answer, but typically a handful of DES probes instead of a full ladder
+// sweep. Set Sweep.Exact to force the exhaustive tier.
+func (s Sweep) Optimum(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
+	out, err := s.OptimumDetail(mode)
+	if err != nil {
+		return 0, 0, err
+	}
+	return out.V, out.T, nil
+}
+
+// OptimumDetail is Optimum with the full estimate.Outcome: which tier
+// answered, how many probes the tiered stage issued, and why the exact
+// tier ran if it did.
+func (s Sweep) OptimumDetail(mode sim.Mode) (estimate.Outcome, error) {
+	c := s.cache()
+	heights := s.OptimumHeights()
+	if s.Exact {
+		v, t, err := s.optimumExact(c, mode, heights)
+		if err != nil {
+			return estimate.Outcome{}, err
+		}
+		return estimate.Outcome{V: v, T: t, Tier: estimate.TierExact, FallbackReason: "forced"}, nil
+	}
+	cfg := estimate.ForGrid(s.Grid, s.Machine, mode, s.ModeCap(mode), c, heights)
+	cfg.Exact = func() (int64, float64, error) {
+		return s.optimumExact(c, mode, heights)
+	}
+	return estimate.Optimum(cfg)
+}
+
+// OptimumExact is the exhaustive reference search: every OptimumHeights
+// rung simulated (on the parallel worker pool), earliest height of minimal
+// makespan wins — the same scan order and tie-break as RunSequential plus
+// an argmin.
+func (s Sweep) OptimumExact(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
+	return s.optimumExact(s.cache(), mode, s.OptimumHeights())
+}
+
+func (s Sweep) optimumExact(c *sim.Cache, mode sim.Mode, heights []int64) (int64, float64, error) {
+	rs, err := s.evalHeights(c, mode, heights)
+	if err != nil {
+		return 0, 0, err
+	}
+	best, bestT := int64(-1), 0.0
+	considerHeights(heights, rs, &best, &bestT)
+	return best, bestT, nil
+}
+
+// OptimumRefined sharpens Optimum below ladder granularity: the
+// multiplicative Refine window around the winning rung is evaluated and
+// the overall earliest minimum returned. This is the search the figures,
+// traces and examples print; on the paper's grids its answers are
+// unchanged from the pre-tiered implementation (the tiered ladder stage
+// picks the same rung the exhaustive ladder pass did). Refinement rungs
+// that duplicate ladder rungs are skipped — they could never win the
+// strict-improvement comparison.
+func (s Sweep) OptimumRefined(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
+	if s.Cache == nil {
+		s.Cache = sim.NewCache() // share the ladder stage's probes with the refine pass
+	}
+	c := s.Cache
+	out, err := s.OptimumDetail(mode)
+	if err != nil {
+		return 0, 0, err
+	}
+	best, bestT := out.V, out.T
+	seen := make(map[int64]bool)
+	for _, v := range s.OptimumHeights() {
+		seen[v] = true
+	}
+	var refined []int64
+	for _, v := range Refine(best, 1, s.Grid.K, 13) {
+		if !seen[v] {
+			refined = append(refined, v)
+		}
+	}
+	rs, err := s.evalHeights(c, mode, refined)
+	if err != nil {
+		return 0, 0, err
+	}
+	considerHeights(refined, rs, &best, &bestT)
+	return best, bestT, nil
+}
+
+// evalHeights simulates one mode at each height on the worker pool.
+func (s Sweep) evalHeights(c *sim.Cache, mode sim.Mode, heights []int64) ([]sim.Result, error) {
+	pts := make([]simPoint, len(heights))
+	for i, v := range heights {
+		pts[i] = simPoint{v, mode}
+	}
+	return s.evalPoints(c, pts)
+}
+
+// considerHeights scans heights in input order with a strict-improvement
+// update, matching the sequential search exactly: the earliest height of
+// minimal makespan wins.
+func considerHeights(heights []int64, rs []sim.Result, best *int64, bestT *float64) {
+	for i, v := range heights {
+		if t := rs[i].Makespan; *best < 0 || t < *bestT {
+			*best, *bestT = v, t
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestTieredOptimumMatchesExactOnFigures is the acceptance gate of the
+// tiered-search rework: on the paper's Fig. 9-11 spaces (which also feed
+// Fig. 12) and for both schedules, the tiered Optimum must return the
+// bit-identical (V, t) the exhaustive search returns, while issuing at
+// least 4x fewer DES evaluations per query and at least 5x fewer in
+// aggregate — measured with the sim.Cache counters.
+func TestTieredOptimumMatchesExactOnFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale figure spaces")
+	}
+	if raceDetectorEnabled {
+		t.Skip("full-scale DES is prohibitively slow under the race detector; the randomized property test covers the tiered path there")
+	}
+	type counts struct{ tiered, exact uint64 }
+	var mu sync.Mutex // subtests run in parallel
+	results := make(map[string]counts)
+	var queries []string
+	for _, fig := range []Sweep{Fig9(), Fig10(), Fig11()} {
+		fig := fig
+		for _, mode := range []sim.Mode{sim.Overlapped, sim.Blocking} {
+			mode := mode
+			name := fmt.Sprintf("%s/%s", fig.ID, mode)
+			queries = append(queries, name)
+			results[name] = counts{}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				s := fig
+				s.Cache = sim.NewCache()
+				out, err := s.OptimumDetail(mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tiered := s.Cache.Stats().Evals
+				if out.Tier != estimate.TierCertified {
+					t.Errorf("paper grid not certified: %+v", out)
+				}
+
+				s.Cache = sim.NewCache()
+				vEx, tEx, err := s.OptimumExact(mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exact := s.Cache.Stats().Evals
+
+				if out.V != vEx || out.T != tEx {
+					t.Errorf("tiered (V=%d t=%v) != exact (V=%d t=%v)", out.V, out.T, vEx, tEx)
+				}
+				if tiered*4 > exact {
+					t.Errorf("per-query savings too small: %d tiered vs %d exact evals", tiered, exact)
+				}
+				mu.Lock()
+				results[name] = counts{tiered, exact}
+				mu.Unlock()
+			})
+		}
+	}
+	// Runs after every parallel subtest above has finished.
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		var tiered, exact uint64
+		for _, name := range queries {
+			c := results[name]
+			if c.exact == 0 {
+				return // a subtest failed before recording; it already reported
+			}
+			tiered += c.tiered
+			exact += c.exact
+		}
+		if tiered*5 > exact {
+			t.Errorf("aggregate savings below 5x: %d tiered vs %d exact DES evaluations", tiered, exact)
+		}
+		t.Logf("DES evaluations across %d queries: tiered %d, exact %d (%.1fx)",
+			len(queries), tiered, exact, float64(exact)/float64(tiered))
+	})
+}
+
+// TestOptimumMatchesSequentialArgminRandomized is the seeded property
+// test: across randomized Grid3D/Machine configurations and both modes,
+// the tiered Optimum must return exactly the answer obtained by running
+// the sequential reference sweep over the same candidate heights and
+// taking the earliest argmin. On configurations far from the calibrated
+// regime the certification tolerances reject the fast path and the exact
+// fallback answers — either way the identity must hold bit-for-bit.
+func TestOptimumMatchesSequentialArgminRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 10
+	dims := []int64{8, 16, 32}
+	for trial := 0; trial < trials; trial++ {
+		g := model.Grid3D{
+			I:  dims[rng.Intn(len(dims))],
+			J:  dims[rng.Intn(len(dims))],
+			K:  256 << rng.Intn(3),
+			PI: 4, PJ: 4,
+		}
+		m := model.PentiumCluster()
+		scale := func(x float64) float64 { return x * math.Exp(2.2*rng.Float64()-1.1) }
+		m.Tc = scale(m.Tc)
+		m.Ts = scale(m.Ts)
+		m.Tt = scale(m.Tt)
+		m.FillMPIBase = scale(m.FillMPIBase)
+		m.FillMPIPerByte = scale(m.FillMPIPerByte)
+		m.FillKernelBase = scale(m.FillKernelBase)
+		m.FillKernelPerByte = scale(m.FillKernelPerByte)
+		s := Sweep{
+			ID: fmt.Sprintf("prop%d", trial), Title: "property",
+			Grid: g, Heights: Ladder(4, g.K/4),
+			Machine: m, Cap: sim.CapDMA,
+			Cache: sim.NewCache(),
+		}
+		ref := s
+		ref.Heights = s.OptimumHeights()
+		ref.Cache = nil
+		rows, err := ref.RunSequential()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, mode := range []sim.Mode{sim.Overlapped, sim.Blocking} {
+			wantV, wantT := int64(-1), 0.0
+			for _, r := range rows {
+				tt := r.OverlapSim
+				if mode == sim.Blocking {
+					tt = r.BlockingSim
+				}
+				if wantV < 0 || tt < wantT {
+					wantV, wantT = r.V, tt
+				}
+			}
+			out, err := s.OptimumDetail(mode)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, mode, err)
+			}
+			if out.V != wantV || out.T != wantT {
+				t.Errorf("trial %d %s (grid %+v): tiered V=%d t=%v != reference V=%d t=%v (outcome %+v)",
+					trial, mode, g, out.V, out.T, wantV, wantT, out)
+			}
+		}
+	}
+}
+
+// TestLadderEdgeCases: clamping and degenerate ranges (the lo <= 0 input
+// used to loop forever: 0*2 == 0).
+func TestLadderEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi int64
+		want   []int64
+	}{
+		{"zero lo", 0, 8, []int64{1, 2, 4, 8}},
+		{"negative lo", -5, 4, []int64{1, 2, 4}},
+		{"lo == hi", 16, 16, []int64{16}},
+		{"hi below lo", 16, 8, nil},
+		{"hi zero", 1, 0, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Ladder(tc.lo, tc.hi)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Ladder(%d, %d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Ladder(%d, %d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestRefineEdgeCases: degenerate brackets and tiny counts stay inside
+// [lo, hi], deduped and strictly increasing.
+func TestRefineEdgeCases(t *testing.T) {
+	cases := []struct {
+		name           string
+		center, lo, hi int64
+		n              int
+	}{
+		{"lo == hi", 100, 64, 64, 7},
+		{"n == 1", 100, 1, 1000, 1},
+		{"n == 0", 100, 1, 1000, 0},
+		{"center below lo", 2, 10, 1000, 9},
+		{"center above hi", 5000, 1, 1000, 9},
+		{"center zero", 0, 1, 1000, 5},
+		{"lo zero", 10, 0, 1000, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := Refine(tc.center, tc.lo, tc.hi, tc.n)
+			if len(vs) == 0 {
+				t.Fatalf("Refine(%d, %d, %d, %d) empty", tc.center, tc.lo, tc.hi, tc.n)
+			}
+			lo := tc.lo
+			if lo < 1 {
+				lo = 1
+			}
+			for i, v := range vs {
+				if v < lo || v > tc.hi {
+					t.Errorf("candidate %d outside [%d, %d]: %v", v, lo, tc.hi, vs)
+				}
+				if i > 0 && v <= vs[i-1] {
+					t.Errorf("not strictly increasing: %v", vs)
+				}
+			}
+		})
+	}
+	if vs := Refine(100, 64, 64, 7); len(vs) != 1 || vs[0] != 64 {
+		t.Errorf("degenerate bracket: %v, want [64]", vs)
+	}
+	if vs := Refine(100, 64, 32, 7); vs != nil {
+		t.Errorf("inverted bracket: %v, want nil", vs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled mirrors the race build tag so tests whose workload
+// is prohibitive under the detector (full-scale figure sweeps) can skip
+// themselves; the scaled-down tests keep the same code paths covered.
+const raceDetectorEnabled = true

@@ -16,8 +16,8 @@ import (
 // iteration order leak into results, orderings, or emitted output.
 //
 // In the deterministic core packages (internal/sim, internal/simnet,
-// internal/fault, internal/experiments, internal/runner) the analyzer
-// forbids:
+// internal/fault, internal/experiments, internal/estimate,
+// internal/runner) the analyzer forbids:
 //
 //   - time.Now / time.Since / time.Until — wall clocks. The simulator's
 //     clock is its event queue; real elapsed-time measurements that never
@@ -41,6 +41,7 @@ var deterministicScope = []string{
 	"internal/simnet",
 	"internal/fault",
 	"internal/experiments",
+	"internal/estimate",
 	"internal/runner",
 }
 

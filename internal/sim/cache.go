@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/model"
@@ -33,6 +34,35 @@ type Cache struct {
 	mu   sync.RWMutex
 	m    map[cacheKey]Result
 	pool sync.Pool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	evals  atomic.Uint64
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters, in the
+// style of the obs package's report structs: plain exported numbers, safe
+// to copy and compare. Hits and Misses count lookups; Evals counts actual
+// simulator executions. Evals can trail Misses (a malformed point fails
+// validation before reaching the engine) or, transiently, exceed the entry
+// count (concurrent misses on one key each run the engine and store
+// identical results). The optimum-search tests use Evals to assert how
+// much DES work a query really cost.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Evals   uint64
+	Entries int
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Evals:   c.evals.Load(),
+		Entries: c.Len(),
+	}
 }
 
 // NewCache returns an empty simulation cache.
@@ -84,8 +114,10 @@ func (c *Cache) SimulateGridWith(g model.Grid3D, v int64, m model.Machine, mode 
 	r, ok := c.m[key]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return r, nil
 	}
+	c.misses.Add(1)
 	cfg, err := GridConfig(g, v, m, mode, cap)
 	if err != nil {
 		return Result{}, err
@@ -97,6 +129,7 @@ func (c *Cache) SimulateGridWith(g model.Grid3D, v int64, m model.Machine, mode 
 	}
 	cfg.Metrics = o.Metrics
 	cfg.Trace = o.Trace
+	c.evals.Add(1)
 	sm := c.pool.Get().(*Simulator)
 	r, err = sm.Simulate(cfg)
 	c.pool.Put(sm)

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func cacheTestGrid() (model.Grid3D, model.Machine) {
+	return model.Grid3D{I: 8, J: 8, K: 64, PI: 4, PJ: 4}, model.PentiumCluster()
+}
+
+func TestCacheStatsCounting(t *testing.T) {
+	g, m := cacheTestGrid()
+	c := NewCache()
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("fresh cache stats = %+v, want zeros", st)
+	}
+
+	// First request: a miss that evaluates and stores.
+	r1, err := c.SimulateGrid(g, 8, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st != (CacheStats{Misses: 1, Evals: 1, Entries: 1}) {
+		t.Errorf("after one miss: %+v", st)
+	}
+
+	// Same point again: a hit, no new evaluation, bit-identical result.
+	r2, err := c.SimulateGrid(g, 8, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Errorf("hit returned different makespan: %g vs %g", r1.Makespan, r2.Makespan)
+	}
+	if st := c.Stats(); st != (CacheStats{Hits: 1, Misses: 1, Evals: 1, Entries: 1}) {
+		t.Errorf("after hit: %+v", st)
+	}
+
+	// The metrics flag is part of the key: same point with metrics on is a
+	// distinct entry, so another miss and evaluation.
+	if _, err := c.SimulateGridWith(g, 8, m, Overlapped, CapDMA, GridOpts{Metrics: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st != (CacheStats{Hits: 1, Misses: 2, Evals: 2, Entries: 2}) {
+		t.Errorf("after metrics-flag miss: %+v", st)
+	}
+
+	// A malformed point fails validation before reaching the engine: the
+	// miss is counted, the evaluation is not.
+	bad := g
+	bad.I = 7 // PI=4 does not divide 7
+	if _, err := c.SimulateGrid(bad, 8, m, Overlapped, CapDMA); err == nil {
+		t.Fatal("malformed grid accepted")
+	}
+	if st := c.Stats(); st != (CacheStats{Hits: 1, Misses: 3, Evals: 2, Entries: 2}) {
+		t.Errorf("after failed validation: %+v", st)
+	}
+}
+
+// TestCacheStatsConcurrent hammers one cache from many goroutines (run
+// under -race in make check): the counters must account for every lookup,
+// and every hit+miss must sum to the number of requests.
+func TestCacheStatsConcurrent(t *testing.T) {
+	g, m := cacheTestGrid()
+	c := NewCache()
+	const workers, iters = 8, 20
+	heights := []int64{4, 8, 16, 32}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := heights[i%len(heights)]
+				if _, err := c.SimulateGrid(g, v, m, Overlapped, CapDMA); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != workers*iters {
+		t.Errorf("hits+misses = %d+%d, want %d requests", st.Hits, st.Misses, workers*iters)
+	}
+	if st.Entries != len(heights) {
+		t.Errorf("entries = %d, want %d", st.Entries, len(heights))
+	}
+	// Concurrent misses on a key may each evaluate, but never more than one
+	// evaluation per (worker, distinct key) pair.
+	if st.Evals < uint64(len(heights)) || st.Evals > workers*uint64(len(heights)) {
+		t.Errorf("evals = %d outside [%d, %d]", st.Evals, len(heights), workers*len(heights))
+	}
+}
