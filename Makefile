@@ -5,7 +5,7 @@ GO ?= go
 
 BENCH ?= Fig9$$|Fig10$$|Fig11$$|Fig12$$|SimEngine$$|SimBuild$$|SweepParallel$$
 
-.PHONY: build test race bench bench-smoke fault-smoke vet lint docs-check check
+.PHONY: build test race bench bench-smoke fault-smoke serve-smoke vet lint docs-check check
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ bench-smoke:
 fault-smoke:
 	$(GO) run ./cmd/tilebench -quick -fault-seed 7 -fault-intensity 1 -deadline fault-sweep
 
+# Planning-service drill over a real process boundary, under the race
+# detector: burst past the rate limit (shed 429s, served answers
+# bit-identical to the offline CLI), then SIGTERM and drain to exit 0.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke$$' ./cmd/tileserve
+
 # Toolchain hygiene: go vet and a gofmt-clean tree (testdata included).
 vet:
 	$(GO) vet ./...
@@ -53,4 +59,4 @@ lint:
 docs-check:
 	$(GO) run ./cmd/docscheck .
 
-check: build test race fault-smoke bench-smoke vet lint docs-check
+check: build test race fault-smoke serve-smoke bench-smoke vet lint docs-check

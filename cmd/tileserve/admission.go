@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control is the service's first line of overload safety, and it
+// is deliberately two-stage:
+//
+//   - A token bucket bounds the long-run request *rate* (with a burst
+//     allowance), so a misbehaving client cannot starve the box no matter
+//     how fast it retries. Over-rate requests are shed immediately with
+//     429 and an honest Retry-After — cheap for us, actionable for them.
+//   - A slot gate bounds *concurrency*: at most `concurrency` sweeps run
+//     at once, at most `queueDepth` admitted requests wait behind them
+//     (bounded by `queueWait`), and everything beyond that is shed with
+//     503. The DES engine is CPU-bound, so concurrency beyond the core
+//     count only adds memory pressure and latency, never throughput.
+//
+// Both stages answer before any simulator state is touched.
+
+// tokenBucket is a standard leaky token bucket. The clock is injectable so
+// tests are deterministic; rate <= 0 disables the stage entirely.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens added per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket returns a full bucket admitting `rate` requests/second
+// with bursts up to `burst`. rate <= 0 means unlimited.
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	tb := &tokenBucket{rate: rate, burst: b, tokens: b, now: now}
+	tb.last = now()
+	return tb
+}
+
+// take spends one token if available. On refusal it reports how long until
+// a token exists — the Retry-After the shed response carries.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+t.Sub(b.last).Seconds()*b.rate)
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// slotGate bounds concurrent work and the line waiting for it.
+type slotGate struct {
+	slots     chan struct{}
+	queueMax  int64
+	queued    atomic.Int64
+	queueWait time.Duration
+}
+
+func newSlotGate(concurrency, queueDepth int, queueWait time.Duration) *slotGate {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &slotGate{
+		slots:     make(chan struct{}, concurrency),
+		queueMax:  int64(queueDepth),
+		queueWait: queueWait,
+	}
+}
+
+// acquire claims a work slot, waiting in the bounded queue up to queueWait
+// if none is free. It returns a release function on success; ok=false
+// means the queue was full or the wait expired (shed with 503), and a
+// ctx error means the caller gave up while queued.
+func (g *slotGate) acquire(ctx context.Context) (release func(), ok bool, err error) {
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true, nil
+	default:
+	}
+	// No free slot: join the bounded queue, or shed.
+	if g.queued.Add(1) > g.queueMax {
+		g.queued.Add(-1)
+		return nil, false, nil
+	}
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true, nil
+	case <-timer.C:
+		return nil, false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

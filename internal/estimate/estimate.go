@@ -28,6 +28,7 @@
 package estimate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -119,8 +120,12 @@ type probeRec struct {
 	t float64
 }
 
-// Optimum answers one tiered optimum query.
-func Optimum(cfg Config) (Outcome, error) {
+// Optimum answers one tiered optimum query. Cancellation of ctx is checked
+// before every probe (the unit of DES work), so a cancelled or expired
+// context aborts the search mid-ladder with ctx.Err() rather than running
+// the remaining probes; completed probes stay wherever Config.Probe cached
+// them, so a later uncancelled query reuses them bit-identically.
+func Optimum(ctx context.Context, cfg Config) (Outcome, error) {
 	if cfg.Model == nil || cfg.Probe == nil {
 		return Outcome{}, fmt.Errorf("estimate: Config.Model and Config.Probe are required")
 	}
@@ -144,6 +149,9 @@ func Optimum(cfg Config) (Outcome, error) {
 	probe := func(v int64) (float64, error) {
 		if t, ok := seen[v]; ok {
 			return t, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
 		}
 		t, err := cfg.Probe(v)
 		if err != nil {

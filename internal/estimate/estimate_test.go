@@ -1,10 +1,12 @@
 package estimate
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 // vCurve is the analytic shape every synthetic test uses: a smooth convex
@@ -46,7 +48,7 @@ func TestOptimumCertifiedPerfectModel(t *testing.T) {
 		Model:   curve,
 		Probe:   probeOf(curve),
 	}
-	out, err := Optimum(cfg)
+	out, err := Optimum(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestOptimumCertifiedBiasedModel(t *testing.T) {
 	curve := vCurve(4096, 1)
 	biased := func(v int64) float64 { return 1.2 * curve(v) }
 	heights := ladder(1, 1024)
-	out, err := Optimum(Config{Heights: heights, SeedV: 64, Model: biased, Probe: probeOf(curve)})
+	out, err := Optimum(context.Background(), Config{Heights: heights, SeedV: 64, Model: biased, Probe: probeOf(curve)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestOptimumFallbackLargeBias(t *testing.T) {
 	curve := vCurve(4096, 1)
 	biased := func(v int64) float64 { return 2 * curve(v) }
 	heights := ladder(1, 1024)
-	out, err := Optimum(Config{Heights: heights, SeedV: 64, Model: biased, Probe: probeOf(curve)})
+	out, err := Optimum(context.Background(), Config{Heights: heights, SeedV: 64, Model: biased, Probe: probeOf(curve)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestOptimumFallbackShapeError(t *testing.T) {
 		return curve(v) * (1 + 0.15*float64(v%3)) // 0%, 15%, 30% bumps
 	}
 	heights := ladder(1, 1024)
-	out, err := Optimum(Config{Heights: heights, SeedV: 64, Model: curve, Probe: probeOf(jittery)})
+	out, err := Optimum(context.Background(), Config{Heights: heights, SeedV: 64, Model: curve, Probe: probeOf(jittery)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestOptimumFallbackShapeError(t *testing.T) {
 func TestOptimumFallbackTie(t *testing.T) {
 	flat := func(v int64) float64 { return 1 }
 	heights := ladder(1, 256)
-	out, err := Optimum(Config{Heights: heights, SeedV: 16, Model: flat, Probe: probeOf(flat)})
+	out, err := Optimum(context.Background(), Config{Heights: heights, SeedV: 16, Model: flat, Probe: probeOf(flat)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ func TestOptimumDegenerateInputs(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			out, err := Optimum(tc.cfg)
+			out, err := Optimum(context.Background(), tc.cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -172,17 +174,17 @@ func TestOptimumDegenerateInputs(t *testing.T) {
 
 func TestOptimumErrors(t *testing.T) {
 	curve := vCurve(256, 1)
-	if _, err := Optimum(Config{Heights: ladder(1, 64), SeedV: 8, Probe: probeOf(curve)}); err == nil {
+	if _, err := Optimum(context.Background(), Config{Heights: ladder(1, 64), SeedV: 8, Probe: probeOf(curve)}); err == nil {
 		t.Error("missing Model accepted")
 	}
-	if _, err := Optimum(Config{Heights: ladder(1, 64), SeedV: 8, Model: curve}); err == nil {
+	if _, err := Optimum(context.Background(), Config{Heights: ladder(1, 64), SeedV: 8, Model: curve}); err == nil {
 		t.Error("missing Probe accepted")
 	}
-	if _, err := Optimum(Config{Model: curve, Probe: probeOf(curve), SeedV: 8}); err == nil {
+	if _, err := Optimum(context.Background(), Config{Model: curve, Probe: probeOf(curve), SeedV: 8}); err == nil {
 		t.Error("empty ladder accepted")
 	}
 	boom := errors.New("probe failed")
-	_, err := Optimum(Config{
+	_, err := Optimum(context.Background(), Config{
 		Heights: ladder(1, 64), SeedV: 8, Model: curve,
 		Probe: func(v int64) (float64, error) { return 0, boom },
 	})
@@ -195,7 +197,7 @@ func TestOptimumErrors(t *testing.T) {
 // fallback scan.
 func TestOptimumUsesCallerExact(t *testing.T) {
 	flat := func(v int64) float64 { return 1 }
-	out, err := Optimum(Config{
+	out, err := Optimum(context.Background(), Config{
 		Heights: ladder(1, 64), SeedV: 8, Model: flat, Probe: probeOf(flat),
 		Exact: func() (int64, float64, error) { return 42, 4.2, nil },
 	})
@@ -206,7 +208,7 @@ func TestOptimumUsesCallerExact(t *testing.T) {
 		t.Errorf("caller Exact ignored: %+v", out)
 	}
 	boom := errors.New("exact failed")
-	_, err = Optimum(Config{
+	_, err = Optimum(context.Background(), Config{
 		Heights: ladder(1, 64), SeedV: 8, Model: flat, Probe: probeOf(flat),
 		Exact: func() (int64, float64, error) { return 0, 0, boom },
 	})
@@ -229,7 +231,7 @@ func TestOptimumSeedOutsideLadder(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			curve := vCurve(tc.a, tc.b)
-			out, err := Optimum(Config{Heights: heights, SeedV: tc.seed, Model: curve, Probe: probeOf(curve)})
+			out, err := Optimum(context.Background(), Config{Heights: heights, SeedV: tc.seed, Model: curve, Probe: probeOf(curve)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -246,7 +248,7 @@ func TestOptimumSeedOutsideLadder(t *testing.T) {
 func TestOptimumUnsortedDuplicatedHeights(t *testing.T) {
 	curve := vCurve(4096, 1)
 	messy := []int64{256, 16, 64, 16, 1, 1024, 4, 256, 4}
-	out, err := Optimum(Config{Heights: messy, SeedV: 64, Model: curve, Probe: probeOf(curve)})
+	out, err := Optimum(context.Background(), Config{Heights: messy, SeedV: 64, Model: curve, Probe: probeOf(curve)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestOptimumUnsortedDuplicatedHeights(t *testing.T) {
 func TestOptimumElisionSkipsFarRungs(t *testing.T) {
 	curve := vCurve(1<<20, 1) // minimum at v=1024
 	heights := ladder(1, 1<<14)
-	out, err := Optimum(Config{Heights: heights, SeedV: 1024, Model: curve, Probe: probeOf(curve)})
+	out, err := Optimum(context.Background(), Config{Heights: heights, SeedV: 1024, Model: curve, Probe: probeOf(curve)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,5 +299,45 @@ func TestDedupeSorted(t *testing.T) {
 	}
 	if out := dedupeSorted(nil); len(out) != 0 {
 		t.Errorf("dedupe(nil) = %v", out)
+	}
+}
+
+// TestOptimumCancelledMidProbe: cancelling the context between probes
+// aborts the tiered search with the bare context error. The probe itself
+// pulls the trigger after its first evaluation, so the cancellation lands
+// deterministically mid-search.
+func TestOptimumCancelledMidProbe(t *testing.T) {
+	curve := vCurve(4096, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probes := 0
+	probe := func(v int64) (float64, error) {
+		probes++
+		cancel() // the next probe attempt must refuse to run
+		return curve(v), nil
+	}
+	_, err := Optimum(ctx, Config{Heights: ladder(1, 1024), SeedV: 64, Model: curve, Probe: probe})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if probes != 1 {
+		t.Errorf("probes after cancellation = %d, want exactly 1", probes)
+	}
+}
+
+// TestOptimumDeadContextNoProbes: an already-expired deadline never reaches
+// the probe function at all.
+func TestOptimumDeadContextNoProbes(t *testing.T) {
+	curve := vCurve(4096, 1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	probes := 0
+	probe := func(v int64) (float64, error) { probes++; return curve(v), nil }
+	_, err := Optimum(ctx, Config{Heights: ladder(1, 1024), SeedV: 64, Model: curve, Probe: probe})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if probes != 0 {
+		t.Errorf("dead context still probed %d times", probes)
 	}
 }

@@ -1,6 +1,8 @@
 package estimate
 
 import (
+	"context"
+
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -8,12 +10,13 @@ import (
 // ForGrid wires a Config to the Grid3D stack: the mode's closed form
 // (OptimalVOverlapAnalytic / OptimalVBlockingAnalytic) seeds the bracket,
 // the matching eq. 3/4 prediction prices unprobed heights, and probes run
-// through the memoized simulator, so repeated queries and later sweeps
-// share DES work. If the closed form has no solution for the
-// configuration, the seed is left unusable and Optimum routes the query to
-// the exact tier. The caller may still set Config.Exact and the
-// certification overrides on the returned value.
-func ForGrid(g model.Grid3D, m model.Machine, mode sim.Mode, cap sim.Capability, c *sim.Cache, heights []int64) Config {
+// through the memoized simulator under ctx, so repeated queries and later
+// sweeps share DES work and a cancelled caller stops issuing probes. If
+// the closed form has no solution for the configuration, the seed is left
+// unusable and Optimum routes the query to the exact tier. The caller may
+// still set Config.Exact and the certification overrides on the returned
+// value.
+func ForGrid(ctx context.Context, g model.Grid3D, m model.Machine, mode sim.Mode, cap sim.Capability, c *sim.Cache, heights []int64) Config {
 	cfg := Config{Heights: heights}
 	if mode == sim.Blocking {
 		cfg.Model = func(v int64) float64 { return g.PredictNonOverlap(v, m) }
@@ -27,7 +30,7 @@ func ForGrid(g model.Grid3D, m model.Machine, mode sim.Mode, cap sim.Capability,
 		}
 	}
 	cfg.Probe = func(v int64) (float64, error) {
-		r, err := c.SimulateGrid(g, v, m, mode, cap)
+		r, err := c.SimulateGridCtx(ctx, g, v, m, mode, cap, sim.GridOpts{})
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// cancelSweep returns a small sweep with a shared cache, sized so a full
+// ladder pass issues a few dozen DES evaluations.
+func cancelSweep() Sweep {
+	g := model.Grid3D{I: 8, J: 8, K: 1024, PI: 4, PJ: 4}
+	return Sweep{
+		ID: "cancel", Title: "cancellation suite",
+		Grid: g, Heights: Ladder(4, g.K/4),
+		Machine: model.PentiumCluster(), Cap: sim.CapDMA,
+		Cache: sim.NewCache(),
+	}
+}
+
+// sweepOps is the table of context-bearing sweep entry points the
+// cancellation contract covers. Each op must surface the context error
+// unwrapped (errors.Is) without issuing DES work under a dead context.
+var sweepOps = []struct {
+	name string
+	call func(ctx context.Context, s Sweep) error
+}{
+	{"RunCtx", func(ctx context.Context, s Sweep) error {
+		_, err := s.RunCtx(ctx)
+		return err
+	}},
+	{"OptimumCtx", func(ctx context.Context, s Sweep) error {
+		_, _, err := s.OptimumCtx(ctx, sim.Overlapped)
+		return err
+	}},
+	{"OptimumDetailCtx", func(ctx context.Context, s Sweep) error {
+		_, err := s.OptimumDetailCtx(ctx, sim.Blocking)
+		return err
+	}},
+	{"OptimumExactCtx", func(ctx context.Context, s Sweep) error {
+		_, _, err := s.OptimumExactCtx(ctx, sim.Overlapped)
+		return err
+	}},
+	{"OptimumRefinedCtx", func(ctx context.Context, s Sweep) error {
+		_, _, err := s.OptimumRefinedCtx(ctx, sim.Overlapped)
+		return err
+	}},
+}
+
+// TestCancelledContextRejectedPromptly: every entry point returns the
+// context's own error for an already-dead context and issues zero DES
+// evaluations doing so.
+func TestCancelledContextRejectedPromptly(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+	ctxs := []struct {
+		name string
+		ctx  context.Context
+		want error
+	}{
+		{"cancelled", cancelled, context.Canceled},
+		{"deadline", expired, context.DeadlineExceeded},
+	}
+	for _, op := range sweepOps {
+		for _, tc := range ctxs {
+			t.Run(op.name+"/"+tc.name, func(t *testing.T) {
+				s := cancelSweep()
+				err := op.call(tc.ctx, s)
+				if !errors.Is(err, tc.want) {
+					t.Fatalf("err = %v, want %v", err, tc.want)
+				}
+				if st := s.Cache.Stats(); st.Evals != 0 {
+					t.Errorf("dead context still ran %d DES evaluations", st.Evals)
+				}
+			})
+		}
+	}
+}
+
+// TestCancelMidLadder cancels an exhaustive sweep after its first DES
+// evaluation lands and checks the run aborts mid-ladder: the returned
+// error is context.Canceled and well under the full ladder's evaluations
+// ran. The margin is wide — one eval triggers the cancel, dozens remain —
+// so the assertion is robust to scheduling noise.
+func TestCancelMidLadder(t *testing.T) {
+	s := cancelSweep()
+	s.Exact = true // force the full ladder so "mid-ladder" has meat
+	total := 2 * len(s.Heights)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for s.Cache.Stats().Evals == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := s.RunCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := s.Cache.Stats(); st.Evals >= uint64(total) {
+		t.Errorf("cancel did not stop the ladder: %d of %d evaluations ran", st.Evals, total)
+	}
+}
+
+// TestCancelThenRerunBitIdentical: after a cancelled attempt, the same
+// cache answers an uncancelled query bit-identically to a fresh cache —
+// cancellation never leaves partial state that changes an answer.
+func TestCancelThenRerunBitIdentical(t *testing.T) {
+	s := cancelSweep()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for s.Cache.Stats().Evals == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	if _, err := s.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("setup cancel failed: %v", err)
+	}
+
+	rows, err := s.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cancelSweep() // pristine cache
+	want, err := ref.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("row count %d != %d", len(rows), len(want))
+	}
+	for i := range rows {
+		if rows[i] != want[i] {
+			t.Errorf("row %d differs after cancelled warm-up: %+v != %+v", i, rows[i], want[i])
+		}
+	}
+
+	// Same for the optimum query path.
+	v1, t1, err := s.OptimumCtx(context.Background(), sim.Overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, t2, err := ref.OptimumCtx(context.Background(), sim.Overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || t1 != t2 {
+		t.Errorf("optimum after cancel (V=%d t=%g) != fresh (V=%d t=%g)", v1, t1, v2, t2)
+	}
+}

@@ -176,8 +176,10 @@ type simPoint struct {
 // each holding its own engine via the cache's simulator pool. Results are
 // assembled in input order, so the output is identical regardless of worker
 // scheduling (the simulator itself is deterministic). The first simulation
-// error cancels the remaining work via context.
-func (s Sweep) evalPoints(c *sim.Cache, pts []simPoint) ([]sim.Result, error) {
+// error — or cancellation of the parent context — stops the remaining work
+// promptly: workers observe the cancelled context at their next cache call
+// (the granularity of one DES evaluation).
+func (s Sweep) evalPoints(parent context.Context, c *sim.Cache, pts []simPoint) ([]sim.Result, error) {
 	res := make([]sim.Result, len(pts))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pts) {
@@ -186,7 +188,7 @@ func (s Sweep) evalPoints(c *sim.Cache, pts []simPoint) ([]sim.Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	var (
 		wg       sync.WaitGroup
@@ -200,7 +202,7 @@ func (s Sweep) evalPoints(c *sim.Cache, pts []simPoint) ([]sim.Result, error) {
 			defer wg.Done()
 			for i := range tasks {
 				p := pts[i]
-				r, err := c.SimulateGridWith(s.Grid, p.v, s.Machine, p.mode, s.ModeCap(p.mode),
+				r, err := c.SimulateGridCtx(ctx, s.Grid, p.v, s.Machine, p.mode, s.ModeCap(p.mode),
 					sim.GridOpts{Metrics: s.Metrics})
 				if err != nil {
 					errOnce.Do(func() {
@@ -223,6 +225,11 @@ feed:
 	}
 	close(tasks)
 	wg.Wait()
+	// A parent cancellation surfaces as the bare context error, not wrapped
+	// in whichever point happened to observe it first.
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -255,11 +262,19 @@ func (s Sweep) rowAt(v int64, ov, bl sim.Result) SweepRow {
 // bounded worker pool; the rows are assembled in height order and are
 // identical to RunSequential's (see TestRunParallelMatchesSequential).
 func (s Sweep) Run() ([]SweepRow, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: cancellation or an expired deadline stops
+// the sweep at DES-evaluation granularity and returns ctx.Err(). Points
+// already simulated stay in the sweep's cache, so a later uncancelled run
+// completes from where the cancelled one stopped, bit-identically.
+func (s Sweep) RunCtx(ctx context.Context) ([]SweepRow, error) {
 	pts := make([]simPoint, 0, 2*len(s.Heights))
 	for _, v := range s.Heights {
 		pts = append(pts, simPoint{v, sim.Overlapped}, simPoint{v, sim.Blocking})
 	}
-	res, err := s.evalPoints(s.cache(), pts)
+	res, err := s.evalPoints(ctx, s.cache(), pts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/estimate"
@@ -21,6 +22,11 @@ import (
 //   - OptimumRefined: Optimum plus the multiplicative refinement pass
 //     around the winning rung, the search the CLIs and figures print
 //     (finer-than-ladder granularity, same answers as before the rework).
+//
+// Every flavor has a Ctx variant that aborts at DES-evaluation granularity
+// when the context is cancelled or its deadline expires — the contract the
+// planning service relies on to shed abandoned queries. The context-free
+// forms run under context.Background().
 
 // OptimumHeights returns the candidate ladder the optimum search ranges
 // over: the sweep's own Heights extended with the full geometric ladder
@@ -46,7 +52,12 @@ func (s Sweep) OptimumHeights() []int64 {
 // answer, but typically a handful of DES probes instead of a full ladder
 // sweep. Set Sweep.Exact to force the exhaustive tier.
 func (s Sweep) Optimum(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
-	out, err := s.OptimumDetail(mode)
+	return s.OptimumCtx(context.Background(), mode)
+}
+
+// OptimumCtx is Optimum under a context.
+func (s Sweep) OptimumCtx(ctx context.Context, mode sim.Mode) (vOpt int64, tOpt float64, err error) {
+	out, err := s.OptimumDetailCtx(ctx, mode)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -57,20 +68,26 @@ func (s Sweep) Optimum(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
 // answered, how many probes the tiered stage issued, and why the exact
 // tier ran if it did.
 func (s Sweep) OptimumDetail(mode sim.Mode) (estimate.Outcome, error) {
+	return s.OptimumDetailCtx(context.Background(), mode)
+}
+
+// OptimumDetailCtx is OptimumDetail under a context: a cancelled or expired
+// ctx aborts the search between DES probes with ctx.Err().
+func (s Sweep) OptimumDetailCtx(ctx context.Context, mode sim.Mode) (estimate.Outcome, error) {
 	c := s.cache()
 	heights := s.OptimumHeights()
 	if s.Exact {
-		v, t, err := s.optimumExact(c, mode, heights)
+		v, t, err := s.optimumExact(ctx, c, mode, heights)
 		if err != nil {
 			return estimate.Outcome{}, err
 		}
 		return estimate.Outcome{V: v, T: t, Tier: estimate.TierExact, FallbackReason: "forced"}, nil
 	}
-	cfg := estimate.ForGrid(s.Grid, s.Machine, mode, s.ModeCap(mode), c, heights)
+	cfg := estimate.ForGrid(ctx, s.Grid, s.Machine, mode, s.ModeCap(mode), c, heights)
 	cfg.Exact = func() (int64, float64, error) {
-		return s.optimumExact(c, mode, heights)
+		return s.optimumExact(ctx, c, mode, heights)
 	}
-	return estimate.Optimum(cfg)
+	return estimate.Optimum(ctx, cfg)
 }
 
 // OptimumExact is the exhaustive reference search: every OptimumHeights
@@ -78,11 +95,16 @@ func (s Sweep) OptimumDetail(mode sim.Mode) (estimate.Outcome, error) {
 // makespan wins — the same scan order and tie-break as RunSequential plus
 // an argmin.
 func (s Sweep) OptimumExact(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
-	return s.optimumExact(s.cache(), mode, s.OptimumHeights())
+	return s.OptimumExactCtx(context.Background(), mode)
 }
 
-func (s Sweep) optimumExact(c *sim.Cache, mode sim.Mode, heights []int64) (int64, float64, error) {
-	rs, err := s.evalHeights(c, mode, heights)
+// OptimumExactCtx is OptimumExact under a context.
+func (s Sweep) OptimumExactCtx(ctx context.Context, mode sim.Mode) (vOpt int64, tOpt float64, err error) {
+	return s.optimumExact(ctx, s.cache(), mode, s.OptimumHeights())
+}
+
+func (s Sweep) optimumExact(ctx context.Context, c *sim.Cache, mode sim.Mode, heights []int64) (int64, float64, error) {
+	rs, err := s.evalHeights(ctx, c, mode, heights)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -100,11 +122,16 @@ func (s Sweep) optimumExact(c *sim.Cache, mode sim.Mode, heights []int64) (int64
 // that duplicate ladder rungs are skipped — they could never win the
 // strict-improvement comparison.
 func (s Sweep) OptimumRefined(mode sim.Mode) (vOpt int64, tOpt float64, err error) {
+	return s.OptimumRefinedCtx(context.Background(), mode)
+}
+
+// OptimumRefinedCtx is OptimumRefined under a context.
+func (s Sweep) OptimumRefinedCtx(ctx context.Context, mode sim.Mode) (vOpt int64, tOpt float64, err error) {
 	if s.Cache == nil {
 		s.Cache = sim.NewCache() // share the ladder stage's probes with the refine pass
 	}
 	c := s.Cache
-	out, err := s.OptimumDetail(mode)
+	out, err := s.OptimumDetailCtx(ctx, mode)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -119,7 +146,7 @@ func (s Sweep) OptimumRefined(mode sim.Mode) (vOpt int64, tOpt float64, err erro
 			refined = append(refined, v)
 		}
 	}
-	rs, err := s.evalHeights(c, mode, refined)
+	rs, err := s.evalHeights(ctx, c, mode, refined)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -128,12 +155,12 @@ func (s Sweep) OptimumRefined(mode sim.Mode) (vOpt int64, tOpt float64, err erro
 }
 
 // evalHeights simulates one mode at each height on the worker pool.
-func (s Sweep) evalHeights(c *sim.Cache, mode sim.Mode, heights []int64) ([]sim.Result, error) {
+func (s Sweep) evalHeights(ctx context.Context, c *sim.Cache, mode sim.Mode, heights []int64) ([]sim.Result, error) {
 	pts := make([]simPoint, len(heights))
 	for i, v := range heights {
 		pts[i] = simPoint{v, mode}
 	}
-	return s.evalPoints(c, pts)
+	return s.evalPoints(ctx, c, pts)
 }
 
 // considerHeights scans heights in input order with a strict-improvement

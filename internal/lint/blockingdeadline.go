@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -23,6 +24,14 @@ import (
 //     out its Deadline field explicitly, so a reviewer sees the chosen
 //     bound (possibly a flag value; zero is an explicit "forever") at the
 //     construction site.
+//
+// Additionally, in the planning service (cmd/tileserve) every HTTP
+// handler — any func with the (http.ResponseWriter, *http.Request)
+// signature, named or literal — must derive a deadline-bearing context
+// (context.WithTimeout or context.WithDeadline) in its body. A handler
+// that does work under the bare request context inherits "forever" from
+// any client that keeps its connection open, which is the overload the
+// service's admission control exists to rule out (DESIGN.md §11).
 var AnalyzerBlockingDeadline = &Analyzer{
 	Name: "blockingdeadline",
 	Doc:  "cmd/ binaries reach mp only through deadline-bearing communicator options",
@@ -68,7 +77,96 @@ func runBlockingDeadline(p *Package) []Diagnostic {
 		}
 		return true
 	})
+	if strings.Contains(p.Path, "cmd/tileserve") {
+		out = append(out, runHandlerDeadline(p)...)
+	}
 	return out
+}
+
+// runHandlerDeadline enforces the handler-deadline rule on the planning
+// service: every function with the http.Handler signature must call
+// context.WithTimeout or context.WithDeadline somewhere in its body.
+func runHandlerDeadline(p *Package) []Diagnostic {
+	var out []Diagnostic
+	check := func(name string, pos token.Pos, sig *types.Signature, body *ast.BlockStmt) {
+		if body == nil || sig == nil || !isHTTPHandlerSig(sig) {
+			return
+		}
+		if !derivesDeadline(p, body) {
+			out = append(out, diag(p, "blockingdeadline", pos,
+				"HTTP handler %s never derives a deadline-bearing context: call context.WithTimeout or context.WithDeadline before doing work (overload safety)", name))
+		}
+	}
+	inspect(p, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			if fn, ok := p.Info.Defs[node.Name].(*types.Func); ok {
+				check(node.Name.Name, node.Pos(), fn.Type().(*types.Signature), node.Body)
+			}
+		case *ast.FuncLit:
+			if tv, ok := p.Info.Types[node]; ok {
+				sig, _ := tv.Type.(*types.Signature)
+				check("literal", node.Pos(), sig, node.Body)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isHTTPHandlerSig reports whether sig is
+// func(http.ResponseWriter, *http.Request) — the net/http handler shape.
+func isHTTPHandlerSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	if !isNetHTTPType(sig.Params().At(0).Type(), "ResponseWriter") {
+		return false
+	}
+	ptr, ok := sig.Params().At(1).Type().(*types.Pointer)
+	return ok && isNetHTTPType(ptr.Elem(), "Request")
+}
+
+func isNetHTTPType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// derivesDeadline reports whether body (including nested literals) calls
+// context.WithTimeout or context.WithDeadline.
+func derivesDeadline(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := p.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "WithTimeout" || fn.Name() == "WithDeadline" {
+			found = true
+		}
+		return true
+	})
+	return found
 }
 
 // mpFuncCallee returns the internal/mp package-level function a call

@@ -27,6 +27,8 @@ var fixtures = []struct {
 	{AnalyzerReservedTag, "reservedtag/good", "repro/internal/runner", false},
 	{AnalyzerBlockingDeadline, "blockingdeadline/bad", "repro/cmd/fixture", true},
 	{AnalyzerBlockingDeadline, "blockingdeadline/good", "repro/cmd/fixture", false},
+	{AnalyzerBlockingDeadline, "blockingdeadline/serve-bad", "repro/cmd/tileserve", true},
+	{AnalyzerBlockingDeadline, "blockingdeadline/serve-good", "repro/cmd/tileserve", false},
 }
 
 // runFixture type-checks one testdata package under its spoofed path and

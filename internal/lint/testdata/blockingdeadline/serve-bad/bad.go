@@ -1,0 +1,19 @@
+// Package bad writes HTTP handlers the way the planning service must not:
+// doing work under the bare request context, which a slow client can hold
+// open forever. Type-checked under a spoofed cmd/tileserve path.
+package bad
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func handlePlain(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, r.URL.Path)
+}
+
+func mount(mux *http.ServeMux) {
+	mux.HandleFunc("/anon", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, r.URL.Path)
+	})
+}

@@ -1,0 +1,32 @@
+// Package good writes HTTP handlers the way the planning service must:
+// every handler derives a deadline-bearing context before doing work.
+// Type-checked under a spoofed cmd/tileserve path.
+package good
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+func handleTimeout(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	_ = ctx
+	fmt.Fprintln(w, r.URL.Path)
+}
+
+func mount(mux *http.ServeMux) {
+	mux.HandleFunc("/anon", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithDeadline(r.Context(), time.Now().Add(time.Second))
+		defer cancel()
+		_ = ctx
+		fmt.Fprintln(w, r.URL.Path)
+	})
+}
+
+// notAHandler has a different signature and is exempt.
+func notAHandler(w http.ResponseWriter) {
+	fmt.Fprintln(w, "ok")
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -15,11 +16,13 @@ import (
 )
 
 // Registry aggregates the CommMetrics of every rank hosted by this process
-// (one for a real tilenode, several for an in-process cluster) behind a
-// single snapshot, expvar variable, and HTTP endpoint.
+// (one for a real tilenode, several for an in-process cluster) and at most
+// one ServiceMetrics (for a planning service) behind a single snapshot,
+// expvar variable, and HTTP endpoint.
 type Registry struct {
-	mu    sync.Mutex
-	ranks map[int]*CommMetrics
+	mu      sync.Mutex
+	ranks   map[int]*CommMetrics
+	service *ServiceMetrics
 }
 
 // NewRegistry returns an empty registry.
@@ -31,6 +34,15 @@ func NewRegistry() *Registry {
 func (r *Registry) Register(m *CommMetrics) {
 	r.mu.Lock()
 	r.ranks[m.rank] = m
+	r.mu.Unlock()
+}
+
+// RegisterService attaches a planning service's metrics; its snapshot
+// appears as the "service" section of WriteJSON and the expvar variable.
+// At most one service is tracked; the latest call wins.
+func (r *Registry) RegisterService(s *ServiceMetrics) {
+	r.mu.Lock()
+	r.service = s
 	r.mu.Unlock()
 }
 
@@ -50,14 +62,30 @@ func (r *Registry) Snapshot() []CommSnapshot {
 	return out
 }
 
+// snapshotAll is the full dump: comm ranks plus the service section when a
+// service is registered.
+func (r *Registry) snapshotAll() any {
+	r.mu.Lock()
+	svc := r.service
+	r.mu.Unlock()
+	dump := struct {
+		Ranks   []CommSnapshot   `json:"ranks"`
+		Service *ServiceSnapshot `json:"service,omitempty"`
+	}{Ranks: r.Snapshot()}
+	if svc != nil {
+		s := svc.Snapshot()
+		dump.Service = &s
+	}
+	return dump
+}
+
 // WriteJSON writes the registry snapshot as indented JSON — the teardown
-// dump format and the /metrics.json response body.
+// dump format and the /metrics.json response body. When a ServiceMetrics
+// is registered its per-tenant counters appear under "service".
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		Ranks []CommSnapshot `json:"ranks"`
-	}{r.Snapshot()})
+	return enc.Encode(r.snapshotAll())
 }
 
 // expvar.Publish panics on duplicate names and offers no unpublish, so the
@@ -76,28 +104,22 @@ func (r *Registry) Publish() {
 	publishOnce.Do(func() {
 		expvar.Publish("tilecomm", expvar.Func(func() any {
 			if reg := publishedReg.Load(); reg != nil {
-				return reg.Snapshot()
+				return reg.snapshotAll()
 			}
 			return nil
 		}))
 	})
 }
 
-// Serve starts an HTTP server on addr (host:port; use ":0" for an
-// OS-assigned port) exposing
+// DebugMux returns a mux serving the registry's debug surface:
 //
 //	/debug/vars     expvar, including the "tilecomm" registry snapshot
 //	/debug/pprof/   live profiling (net/http/pprof)
 //	/metrics.json   the registry snapshot alone, indented
 //
-// It returns the bound address and a shutdown function. The registry is
-// Published as a side effect.
-func (r *Registry) Serve(addr string) (string, func() error, error) {
-	r.Publish()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
-	}
+// Servers that host their own API (cmd/tileserve) mount this alongside
+// their handlers instead of running a second listener.
+func (r *Registry) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -111,7 +133,58 @@ func (r *Registry) Serve(addr string) (string, func() error, error) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// MetricsServer is a running debug/metrics HTTP server. Shut it down
+// gracefully with Shutdown (drains in-flight scrapes) or abruptly with
+// Close.
+type MetricsServer struct {
+	// Addr is the bound listen address (host:port).
+	Addr string
+	srv  *http.Server
+}
+
+// Shutdown stops accepting connections and waits for in-flight requests
+// to finish, up to ctx's deadline.
+func (s *MetricsServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close abruptly closes the listener and every active connection.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// HTTPTimeouts returns the timeout profile every HTTP server in this repo
+// uses. Headers and request bodies are small, so reads are tight; the
+// write timeout must outlast /debug/pprof/profile's 30-second default
+// sample window, so it is generous rather than disabled.
+func HTTPTimeouts(srv *http.Server) {
+	srv.ReadHeaderTimeout = 5 * time.Second
+	srv.ReadTimeout = 15 * time.Second
+	srv.WriteTimeout = 90 * time.Second
+	srv.IdleTimeout = 2 * time.Minute
+}
+
+// Start launches an HTTP server on addr (host:port; use ":0" for an
+// OS-assigned port) serving DebugMux with the standard timeout profile.
+// The registry is Published as a side effect.
+func (r *Registry) Start(addr string) (*MetricsServer, error) {
+	r.Publish()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: r.DebugMux()}
+	HTTPTimeouts(srv)
 	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	return &MetricsServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Serve is the legacy form of Start: it returns the bound address and an
+// abrupt-stop function. Prefer Start, whose handle can also drain
+// gracefully.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	s, err := r.Start(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return s.Addr, s.Close, nil
 }

@@ -1,0 +1,60 @@
+package planapi
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPlanRequestDecode throws arbitrary bytes at the strict decoder. The
+// invariant under fuzzing is the admission contract: DecodeRequest either
+// returns an error, or returns a request that passes Validate, resolves to
+// a simulatable grid/mode/machine, and stays within every work bound — a
+// fuzzer-found input must never buy more simulator work than the limits
+// allow. Seeds cover the valid shape plus the truncation/trailing/unknown
+// classes the table tests pin.
+func FuzzPlanRequestDecode(f *testing.F) {
+	seeds := []string{
+		validJSON(),
+		`{"version":1,"space":[16,16,1024],"procs":[4,4],"mode":"blocking","machine":"example1","exact":true}`,
+		`{"version":1,"space":[16,16,1024],"procs":[4,4]}`,
+		// Truncations of a valid body at awkward byte offsets.
+		validJSON()[:10],
+		validJSON()[:len(validJSON())-1],
+		`{"version":1,"space":[16,16`,
+		// Unknown field, trailing data, wrong types, hostile numbers.
+		`{"version":1,"space":[16,16,1024],"procs":[4,4],"bogus":1}`,
+		validJSON() + validJSON(),
+		`{"version":"1","space":[16,16,1024],"procs":[4,4]}`,
+		`{"version":1,"space":[16,16,9223372036854775807],"procs":[4,4]}`,
+		`{"version":1,"space":[16,16,-1024],"procs":[4,4]}`,
+		`null`, `[]`, `{}`, ``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeRequest(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("DecodeRequest accepted a request Validate rejects: %v\nbody: %q", verr, data)
+		}
+		g, gerr := q.Grid()
+		if gerr != nil {
+			t.Fatalf("accepted request has no grid: %v\nbody: %q", gerr, data)
+		}
+		if _, merr := q.SimMode(); merr != nil {
+			t.Fatalf("accepted request has no mode: %v\nbody: %q", merr, data)
+		}
+		if _, merr := q.MachineModel(); merr != nil {
+			t.Fatalf("accepted request has no machine: %v\nbody: %q", merr, data)
+		}
+		if worst := g.PI * g.PJ * g.K; worst <= 0 || worst > MaxWorstCaseTiles {
+			t.Fatalf("accepted request breaks the work bound: PI*PJ*K = %d\nbody: %q", worst, data)
+		}
+		if q.Key() == "" {
+			t.Fatalf("accepted request has empty key\nbody: %q", data)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -25,59 +26,189 @@ type cacheKey struct {
 	trace   bool
 }
 
-// Cache memoizes grid simulation results keyed on (grid, V, machine, mode,
-// capability, network). The simulator is deterministic, so a cached Result
-// is bit-identical to a fresh run. A Cache is safe for concurrent use and
-// keeps a pool of Simulators so concurrent misses reuse engine memory
-// instead of allocating fresh engines.
-type Cache struct {
-	mu   sync.RWMutex
-	m    map[cacheKey]Result
-	pool sync.Pool
+// shardIndex hashes the cheap discriminating key fields (FNV-1a over the
+// grid shape, height, and flags) to pick a shard. Machine and fault-plan
+// fields are left out of the hash on purpose: same-point-different-machine
+// requests merely share a shard, never an entry, and the grid/height fields
+// are what actually vary inside one serving process.
+func (k *cacheKey) shardIndex() int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mix(uint64(k.grid.I))
+	mix(uint64(k.grid.J))
+	mix(uint64(k.grid.K))
+	mix(uint64(k.grid.PI))
+	mix(uint64(k.grid.PJ))
+	mix(uint64(k.v))
+	mix(uint64(k.mode)<<8 | uint64(k.cap)<<4 | uint64(k.net)<<2)
+	if k.metrics {
+		mix(1)
+	}
+	if k.trace {
+		mix(2)
+	}
+	return int(h % cacheShards)
+}
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	evals  atomic.Uint64
+// cacheShards is the fixed shard count: enough to keep GOMAXPROCS sweep
+// workers off each other's locks, small enough that per-shard overhead is
+// noise.
+const cacheShards = 16
+
+// cacheEntry is one stored simulation result on its shard's LRU list.
+type cacheEntry struct {
+	key        cacheKey
+	r          Result
+	stamp      uint64      // global recency clock value at last use
+	prev, next *cacheEntry // intrusive LRU links; head side is most recent
+}
+
+// inflightCall coalesces concurrent misses on one key: the first caller
+// (the leader) runs the engine, everyone else waits on done and shares the
+// leader's result. The leader always runs its evaluation to completion —
+// even if its own context is cancelled mid-run — so waiters never observe a
+// half-finished entry and the cache stays consistent under cancellation.
+type inflightCall struct {
+	done chan struct{}
+	r    Result
+	err  error
+}
+
+// cacheShard is one lock domain of the cache: a result map, the shard-local
+// LRU order of those results, and the in-flight calls keyed there.
+type cacheShard struct {
+	mu       sync.Mutex
+	m        map[cacheKey]*cacheEntry
+	inflight map[cacheKey]*inflightCall
+	lru      cacheEntry // sentinel ring: lru.next is most recent
+}
+
+func (s *cacheShard) init() {
+	s.m = make(map[cacheKey]*cacheEntry)
+	s.inflight = make(map[cacheKey]*inflightCall)
+	s.lru.prev, s.lru.next = &s.lru, &s.lru
+}
+
+// pushFront links e as the shard's most recently used entry.
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = &s.lru
+	e.next = s.lru.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// unlink removes e from the LRU ring.
+func (s *cacheShard) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// touch moves an existing entry to the front of the shard's LRU ring.
+func (s *cacheShard) touch(e *cacheEntry) {
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Cache memoizes grid simulation results keyed on (grid, V, machine, mode,
+// capability, network, fault plan, metrics/trace flags). The simulator is
+// deterministic, so a cached Result is bit-identical to a fresh run. A
+// Cache is safe for concurrent use and keeps a pool of Simulators so
+// misses reuse engine memory instead of allocating fresh engines.
+//
+// The key space is split over a fixed number of shards so concurrent
+// lookups from a sweep's worker pool (or a planning server's request
+// handlers) do not serialize on one lock. Concurrent misses on the same
+// key coalesce: exactly one caller runs the engine and every waiter shares
+// its result, so Evals counts real engine executions exactly.
+//
+// A cache built with NewCacheBounded additionally enforces a global entry
+// bound with LRU eviction: every use stamps its entry from a global recency
+// clock, and an insert that overflows the bound evicts the globally oldest
+// of the per-shard oldest entries, so a long-running process serving many
+// distinct planning points holds memory constant instead of growing without
+// limit.
+type Cache struct {
+	shards     [cacheShards]cacheShard
+	maxEntries int64 // 0 = unbounded
+	entries    atomic.Int64
+	clock      atomic.Uint64 // global recency clock; see cacheEntry.stamp
+	pool       sync.Pool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evals     atomic.Uint64
+	evictions atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 // CacheStats is a point-in-time snapshot of a Cache's counters, in the
 // style of the obs package's report structs: plain exported numbers, safe
-// to copy and compare. Hits and Misses count lookups; Evals counts actual
-// simulator executions. Evals can trail Misses (a malformed point fails
-// validation before reaching the engine) or, transiently, exceed the entry
-// count (concurrent misses on one key each run the engine and store
-// identical results). The optimum-search tests use Evals to assert how
-// much DES work a query really cost.
+// to copy and compare. Hits and Misses count lookups (every lookup is
+// exactly one of the two, coalesced waiters counting as misses); Evals
+// counts actual simulator executions and is exact — concurrent misses on
+// one key coalesce onto a single evaluation, counted once. Evals can trail
+// Misses both through coalescing and because a malformed point fails
+// validation before reaching the engine. Coalesced counts the waiters that
+// shared another caller's in-flight evaluation; Evictions counts entries
+// dropped to honor the bound of a NewCacheBounded cache. The optimum-search
+// tests use Evals to assert how much DES work a query really cost.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Evals   uint64
-	Entries int
+	Hits      uint64
+	Misses    uint64
+	Evals     uint64
+	Coalesced uint64
+	Evictions uint64
+	Entries   int
 }
 
 // Stats returns a snapshot of the cache's counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Evals:   c.evals.Load(),
-		Entries: c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evals:     c.evals.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
 	}
 }
 
-// NewCache returns an empty simulation cache.
+// NewCache returns an empty, unbounded simulation cache — the right choice
+// for one-shot CLI sweeps, where the working set is the sweep itself.
 func NewCache() *Cache {
-	return &Cache{
-		m:    make(map[cacheKey]Result),
-		pool: sync.Pool{New: func() any { return NewSimulator() }},
-	}
+	return NewCacheBounded(0)
 }
 
-// Len returns how many distinct points have been simulated.
+// NewCacheBounded returns an empty cache that never holds more than
+// maxEntries results: inserting past the bound evicts least-recently-used
+// entries (counted in CacheStats.Evictions). maxEntries <= 0 means
+// unbounded. Long-running services must bound their cache — a planning
+// server's key space is as unbounded as its request stream.
+func NewCacheBounded(maxEntries int) *Cache {
+	c := &Cache{
+		maxEntries: int64(maxEntries),
+		pool:       sync.Pool{New: func() any { return NewSimulator() }},
+	}
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	return c
+}
+
+// MaxEntries returns the configured entry bound (0 = unbounded).
+func (c *Cache) MaxEntries() int { return int(c.maxEntries) }
+
+// Len returns how many distinct points are currently stored.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	return int(c.entries.Load())
 }
 
 // SimulateGrid is the memoized SimulateGrid: a hit returns the stored
@@ -105,20 +236,84 @@ func (c *Cache) SimulateGridFault(g model.Grid3D, v int64, m model.Machine, mode
 // cache hits return the same *obs.Report pointer and Trace slice, which
 // callers must treat as read-only.
 func (c *Cache) SimulateGridWith(g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, o GridOpts) (Result, error) {
+	return c.SimulateGridCtx(context.Background(), g, v, m, mode, cap, o)
+}
+
+// SimulateGridCtx is SimulateGridWith under a context. Cancellation is
+// honored at the admission points — before an evaluation starts, and while
+// waiting on another caller's coalesced evaluation — so a cancelled sweep
+// stops issuing DES work promptly. An evaluation that has already started
+// runs to completion and is stored: its cost is bounded (one grid point),
+// coalesced waiters may depend on it, and a completed result left in the
+// cache keeps later uncancelled queries bit-identical.
+func (c *Cache) SimulateGridCtx(ctx context.Context, g model.Grid3D, v int64, m model.Machine, mode Mode, cap Capability, o GridOpts) (Result, error) {
 	if !o.Fault.Active() {
 		o.Fault = fault.Plan{}
 	}
 	key := cacheKey{grid: g, v: v, machine: m, mode: mode, cap: cap, net: o.Net,
 		fault: o.Fault, metrics: o.Metrics, trace: o.Trace}
-	c.mu.RLock()
-	r, ok := c.m[key]
-	c.mu.RUnlock()
-	if ok {
+	sh := &c.shards[key.shardIndex()]
+
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		e.stamp = c.clock.Add(1)
+		sh.touch(e)
+		r := e.r
+		sh.mu.Unlock()
 		c.hits.Add(1)
 		return r, nil
 	}
 	c.misses.Add(1)
-	cfg, err := GridConfig(g, v, m, mode, cap)
+	if call, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		return c.await(ctx, call)
+	}
+	if err := ctx.Err(); err != nil {
+		// Not yet committed to leading an evaluation: bail before the
+		// engine runs rather than after.
+		sh.mu.Unlock()
+		return Result{}, err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	sh.inflight[key] = call
+	sh.mu.Unlock()
+
+	call.r, call.err = c.eval(key, o)
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if call.err == nil {
+		e := &cacheEntry{key: key, r: call.r, stamp: c.clock.Add(1)}
+		sh.m[key] = e
+		sh.pushFront(e)
+		c.entries.Add(1)
+	}
+	sh.mu.Unlock()
+	close(call.done)
+	c.enforceBound()
+	return call.r, call.err
+}
+
+// await blocks until a coalesced in-flight evaluation completes or ctx is
+// cancelled. A result that is ready wins over a simultaneous cancellation.
+func (c *Cache) await(ctx context.Context, call *inflightCall) (Result, error) {
+	select {
+	case <-call.done:
+		return call.r, call.err
+	case <-ctx.Done():
+		select {
+		case <-call.done:
+			return call.r, call.err
+		default:
+		}
+		return Result{}, ctx.Err()
+	}
+}
+
+// eval runs one simulation through validation and the pooled engine.
+func (c *Cache) eval(key cacheKey, o GridOpts) (Result, error) {
+	cfg, err := GridConfig(key.grid, key.v, key.machine, key.mode, key.cap)
 	if err != nil {
 		return Result{}, err
 	}
@@ -131,15 +326,49 @@ func (c *Cache) SimulateGridWith(g model.Grid3D, v int64, m model.Machine, mode 
 	cfg.Trace = o.Trace
 	c.evals.Add(1)
 	sm := c.pool.Get().(*Simulator)
-	r, err = sm.Simulate(cfg)
+	r, err := sm.Simulate(cfg)
 	c.pool.Put(sm)
-	if err != nil {
-		return Result{}, err
+	return r, err
+}
+
+// enforceBound evicts least-recently-used entries until the global entry
+// count is back under the bound. Called with no locks held: each pass
+// scans the per-shard oldest entries (locking one shard at a time, so
+// concurrent evictors cannot deadlock) and removes the globally oldest.
+// Racing touches can promote a chosen victim between the scan and the
+// removal; the re-check under the victim shard's lock then skips it and
+// the loop re-scans, so the policy is an approximate LRU under contention
+// and an exact one single-threaded. The bound itself is never exceeded for
+// longer than the eviction takes — an insert that overflows runs this
+// before returning.
+func (c *Cache) enforceBound() {
+	if c.maxEntries <= 0 {
+		return
 	}
-	// Concurrent misses on the same key store identical values, so the last
-	// writer winning is harmless.
-	c.mu.Lock()
-	c.m[key] = r
-	c.mu.Unlock()
-	return r, nil
+	for c.entries.Load() > c.maxEntries {
+		var (
+			victimShard *cacheShard
+			victim      *cacheEntry
+			victimStamp uint64
+		)
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			if e := sh.lru.prev; e != &sh.lru && (victim == nil || e.stamp < victimStamp) {
+				victimShard, victim, victimStamp = sh, e, e.stamp
+			}
+			sh.mu.Unlock()
+		}
+		if victim == nil {
+			return // raced with concurrent evictors; nothing left to drop
+		}
+		victimShard.mu.Lock()
+		if cur, ok := victimShard.m[victim.key]; ok && cur == victim && victim.stamp == victimStamp {
+			victimShard.unlink(victim)
+			delete(victimShard.m, victim.key)
+			c.entries.Add(-1)
+			c.evictions.Add(1)
+		}
+		victimShard.mu.Unlock()
+	}
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -90,9 +92,161 @@ func TestCacheStatsConcurrent(t *testing.T) {
 	if st.Entries != len(heights) {
 		t.Errorf("entries = %d, want %d", st.Entries, len(heights))
 	}
-	// Concurrent misses on a key may each evaluate, but never more than one
-	// evaluation per (worker, distinct key) pair.
-	if st.Evals < uint64(len(heights)) || st.Evals > workers*uint64(len(heights)) {
-		t.Errorf("evals = %d outside [%d, %d]", st.Evals, len(heights), workers*len(heights))
+	// Coalescing makes Evals exact: one engine run per distinct key, no
+	// matter how the workers collide.
+	if st.Evals != uint64(len(heights)) {
+		t.Errorf("evals = %d, want exactly %d (one per distinct key)", st.Evals, len(heights))
+	}
+}
+
+// TestCacheCoalescesConcurrentMisses is the regression test for the
+// duplicate-eval bug the pre-coalescing cache documented in CacheStats:
+// N goroutines hammering one cold key must produce exactly one engine
+// evaluation, with every other caller counted as coalesced and all results
+// bit-identical.
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	g, m := cacheTestGrid()
+	c := NewCache()
+	const workers = 16
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		spans   []float64
+		release = make(chan struct{})
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release // line everyone up on the same cold key
+			r, err := c.SimulateGrid(g, 16, m, Overlapped, CapDMA)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			spans = append(spans, r.Makespan)
+			mu.Unlock()
+		}()
+	}
+	close(release)
+	wg.Wait()
+	st := c.Stats()
+	if st.Evals != 1 {
+		t.Errorf("evals = %d, want 1: concurrent misses on one key must coalesce", st.Evals)
+	}
+	if st.Hits+st.Misses != workers {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, workers)
+	}
+	if st.Coalesced+st.Evals != st.Misses {
+		t.Errorf("coalesced(%d)+evals(%d) != misses(%d)", st.Coalesced, st.Evals, st.Misses)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	for _, s := range spans[1:] {
+		if s != spans[0] {
+			t.Fatalf("coalesced results differ: %g vs %g", s, spans[0])
+		}
+	}
+}
+
+// TestCacheBoundEviction fills a bounded cache past its limit and checks
+// the bound holds, evictions are counted, and an evicted point re-evaluates
+// to a bit-identical result.
+func TestCacheBoundEviction(t *testing.T) {
+	g, m := cacheTestGrid()
+	const bound = 3
+	c := NewCacheBounded(bound)
+	heights := []int64{2, 4, 8, 16, 32, 64}
+	first := make(map[int64]float64)
+	for _, v := range heights {
+		r, err := c.SimulateGrid(g, v, m, Overlapped, CapDMA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[v] = r.Makespan
+		if n := c.Len(); n > bound {
+			t.Fatalf("cache holds %d entries, bound is %d", n, bound)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != uint64(len(heights)-bound) {
+		t.Errorf("evictions = %d, want %d", st.Evictions, len(heights)-bound)
+	}
+	if st.Entries != bound {
+		t.Errorf("entries = %d, want %d", st.Entries, bound)
+	}
+	// An evicted point re-simulates (another eval) to the same bits.
+	r, err := c.SimulateGrid(g, heights[0], m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != first[heights[0]] {
+		t.Errorf("re-evaluated makespan %g != original %g", r.Makespan, first[heights[0]])
+	}
+	if got := c.Stats().Evals; got != uint64(len(heights)+1) {
+		t.Errorf("evals = %d, want %d (evicted entry re-evaluated)", got, len(heights)+1)
+	}
+}
+
+// TestCacheBoundLRUOrder checks the recency policy: touching an old entry
+// saves it from the next eviction.
+func TestCacheBoundLRUOrder(t *testing.T) {
+	g, m := cacheTestGrid()
+	c := NewCacheBounded(2)
+	for _, v := range []int64{2, 4} {
+		if _, err := c.SimulateGrid(g, v, m, Overlapped, CapDMA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch V=2 so V=4 is now least recent; inserting V=8 must evict V=4.
+	if _, err := c.SimulateGrid(g, 2, m, Overlapped, CapDMA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SimulateGrid(g, 8, m, Overlapped, CapDMA); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Stats()
+	if _, err := c.SimulateGrid(g, 2, m, Overlapped, CapDMA); err != nil {
+		t.Fatal(err)
+	}
+	if post := c.Stats(); post.Hits != pre.Hits+1 {
+		t.Errorf("V=2 should have survived eviction (hits %d -> %d)", pre.Hits, post.Hits)
+	}
+	if _, err := c.SimulateGrid(g, 4, m, Overlapped, CapDMA); err != nil {
+		t.Fatal(err)
+	}
+	if post := c.Stats(); post.Misses != pre.Misses+1 {
+		t.Errorf("V=4 should have been evicted (misses %d -> %d)", pre.Misses, post.Misses)
+	}
+}
+
+// TestCacheCtxCancelled: a context cancelled before the call must refuse to
+// start an evaluation, and the cache must stay consistent for later
+// uncancelled queries.
+func TestCacheCtxCancelled(t *testing.T) {
+	g, m := cacheTestGrid()
+	c := NewCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.SimulateGridCtx(ctx, g, 8, m, Overlapped, CapDMA, GridOpts{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.Evals != 0 {
+		t.Errorf("cancelled call ran the engine: evals = %d", st.Evals)
+	}
+	// The same point, uncancelled, still works and matches a fresh cache.
+	r, err := c.SimulateGridCtx(context.Background(), g, 8, m, Overlapped, CapDMA, GridOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewCache().SimulateGrid(g, 8, m, Overlapped, CapDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != want.Makespan {
+		t.Errorf("post-cancel result %g != fresh %g", r.Makespan, want.Makespan)
 	}
 }
