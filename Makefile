@@ -26,7 +26,7 @@ bench:
 # the exhaustive sweep end to end (and keeps both compiling and running) in
 # about a second.
 bench-smoke:
-	$(GO) test -bench 'OptimumTiered$$|OptimumSweep$$' -benchtime=1x -run '^$$' .
+	$(GO) test -bench 'OptimumTiered$$|OptimumSweep$$|ScaleAllocBudget$$' -benchtime=1x -run '^$$' .
 
 # Degradation sweep at a fixed seed: exercises the whole fault-injection
 # path end to end and fails if degradation is not graceful or the

@@ -26,6 +26,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/stencil"
+	"repro/internal/topo"
 )
 
 var fullScale = flag.Bool("fullscale", false, "run figure benchmarks on the paper's full-size spaces")
@@ -143,6 +144,39 @@ func BenchmarkOptimumTiered(b *testing.B) { benchOptimum(b, false) }
 // BenchmarkOptimumSweep runs the same queries with the tiered path
 // disabled — the exhaustive full-ladder sweep, the pre-rework cost.
 func BenchmarkOptimumSweep(b *testing.B) { benchOptimum(b, true) }
+
+// BenchmarkScaleAllocBudget locks the simulator's allocation budget at
+// scale: one overlapped simulation on the scale-sweep's fat tree at 100
+// ranks and again at 10000 ranks, with the same per-rank work. The slab
+// engine and the CSR fabric must keep per-rank allocations essentially
+// flat, so the benchmark fails if the 10000-rank run allocates more than
+// 2x the per-rank budget measured at 100 ranks. Runs in make bench-smoke.
+func BenchmarkScaleAllocBudget(b *testing.B) {
+	spec := topo.FatTree(25, 20, 4, 8, 2e-6, 2)
+	m := model.PentiumCluster()
+	perRank := func(pi, pj int64) float64 {
+		g := model.Grid3D{I: 4 * pi, J: 4 * pj, K: 128, PI: pi, PJ: pj}
+		allocs := testing.AllocsPerRun(1, func() {
+			_, err := sim.SimulateGridWith(g, 64, m, sim.Overlapped, sim.CapDMA,
+				sim.GridOpts{Interconnect: spec})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+		return allocs / float64(pi*pj)
+	}
+	var base, scaled float64
+	for i := 0; i < b.N; i++ {
+		base = perRank(10, 10)
+		scaled = perRank(100, 100)
+	}
+	b.ReportMetric(base, "allocs/rank@100")
+	b.ReportMetric(scaled, "allocs/rank@10k")
+	if scaled > 2*base {
+		b.Errorf("per-rank allocations at 10000 ranks (%.1f) exceed 2x the 100-rank budget (%.1f)",
+			scaled, base)
+	}
+}
 
 // BenchmarkExample1Model evaluates the paper's Example 1 closed form
 // (eq. 3 walk-through; the result is asserted in internal/model tests).

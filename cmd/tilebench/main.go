@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tilebench [-quick] [-heights n] fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|all
+//	tilebench [-quick] [-heights n] fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|scale-sweep|all
 //
 // -quick shrinks the iteration spaces ~16x so every experiment finishes in
 // seconds; the full-size figures take a few minutes of simulation.
@@ -40,7 +40,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-exact] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-deadline] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|trace|all\n")
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-exact] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-deadline] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|scale-sweep|trace|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -307,6 +307,39 @@ func run(id string) error {
 			}
 			fmt.Println("deadline cross-check: CONSISTENT")
 		}
+		fmt.Println()
+		return nil
+	case "scale-sweep":
+		s := experiments.DefaultScaleSweep()
+		if *quick {
+			s.Points = []experiments.ScalePoint{{PI: 8, PJ: 8}, {PI: 16, PJ: 16}, {PI: 32, PJ: 32}}
+			s.Title += " (quick: 64-1024 ranks)"
+		}
+		s.Cache = sim.NewCache()
+		rows, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScale(s, rows))
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			if err := experiments.ScaleCSV(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("(csv written to %s)\n", *csvOut)
+		}
+		if err := experiments.CheckScale(rows); err != nil {
+			fmt.Println("scale check: overlap does NOT hold its edge")
+			return err
+		}
+		fmt.Println("scale check: overlap holds its edge at every rank count")
 		fmt.Println()
 		return nil
 	case "trace":

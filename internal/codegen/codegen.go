@@ -1,8 +1,3 @@
-// Package codegen emits the tiled loop nests the transformation implies —
-// the sequential 2n-deep tiled nest and the paper's SPMD pseudocode
-// variants ProcB (blocking, Section 5) and ProcNB (non-blocking/overlapped)
-// — and provides an execution-order checker proving that a tiling is a
-// legal reordering of the original loop nest.
 package codegen
 
 import (

@@ -1,10 +1,3 @@
-// Package deps models uniform (constant) loop-carried data dependences.
-//
-// A dependence vector d means iteration j depends on iteration j − d; for the
-// sequential loop order to be a valid execution order every dependence vector
-// must be lexicographically positive. The dependence set D of an algorithm is
-// represented as the column matrix D used throughout the paper (legality of a
-// tiling H is HD ≥ 0).
 package deps
 
 import (

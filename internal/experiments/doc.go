@@ -1,0 +1,10 @@
+// Package experiments defines and regenerates every table and figure of the
+// paper's evaluation (Section 5): the three tile-height sweeps (Figs. 9-11),
+// the summary table (Fig. 12), the worked Examples 1 and 3, and the
+// ablations called out in DESIGN.md.
+//
+// "Experimental" numbers come from the discrete-event cluster simulator
+// calibrated to the paper's testbed (model.PentiumCluster); "theoretical"
+// numbers come from the eq. 3/4/5 analytic models — mirroring the paper's
+// experimental-vs-theoretical comparison.
+package experiments

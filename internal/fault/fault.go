@@ -1,21 +1,3 @@
-// Package fault provides deterministic, seeded fault injection for both
-// execution paths of the reproduction: the discrete-event cluster simulator
-// (internal/sim) and the real TCP runtime (internal/mp, cmd/tilenode).
-//
-// A Plan describes per-resource perturbations — CPU straggler factors,
-// link slowdowns, per-message wire jitter, message loss with a
-// timeout/backoff retransmission model, and transient node pauses. Every
-// decision is a pure function of (Seed, stream, identifiers) through a
-// SplitMix64-style hash: there is no global state and no sequential RNG
-// stream, so the same Plan yields bit-identical perturbations no matter in
-// which order — or on how many goroutines — the questions are asked. That
-// is what makes faulted simulations replayable across Engine.Reset reuse
-// and across parallel and sequential sweeps.
-//
-// All perturbation magnitudes scale with Intensity and the per-entity hash
-// values do not depend on Intensity, so raising Intensity only ever raises
-// each individual perturbation: a degradation sweep moves every fault
-// monotonically, not to a fresh random universe per step.
 package fault
 
 import (

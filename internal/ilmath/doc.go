@@ -1,0 +1,8 @@
+// Package ilmath provides exact integer and rational linear algebra for
+// loop-tiling transformations.
+//
+// Tiling matrices H and their inverses P = H⁻¹ must be manipulated exactly:
+// legality tests such as HD ≥ 0 and ⌊HD⌋ = 0 are ill-conditioned under
+// floating point when tile sides are large. All arithmetic in this package
+// is exact, over int64 numerators/denominators with overflow checks.
+package ilmath

@@ -39,6 +39,7 @@ var AnalyzerDeterminism = &Analyzer{
 var deterministicScope = []string{
 	"internal/sim",
 	"internal/simnet",
+	"internal/topo",
 	"internal/fault",
 	"internal/experiments",
 	"internal/estimate",

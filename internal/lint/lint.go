@@ -1,33 +1,3 @@
-// Package lint is tilevet's analyzer suite: a self-contained static
-// checker (stdlib go/ast + go/parser + go/types only, no module
-// dependencies) that mechanically enforces the repo's domain contracts —
-// the invariants the paper's overlapped schedule and the sweeps'
-// bit-identical reproducibility rest on, which PRs 1–4 enforced only by
-// convention and chaos tests.
-//
-// Four analyzers ship (see their files for the precise rules and the
-// paper contract each one guards):
-//
-//   - unwaitedhandle: every non-blocking mp request handle must be
-//     consumed (Wait/Test/WaitAll, stored, or returned) — a leaked handle
-//     silently breaks the compute/send/receive overlap triplet.
-//   - determinism: the simulation/replay packages must not read wall
-//     clocks, the global rand source, or emit map-iteration order.
-//   - reservedtag: negative message-tag literals (the transport's control
-//     plane: barrier, abort, heartbeat −5, goodbye −6) stay inside
-//     internal/mp.
-//   - blockingdeadline: cmd/ binaries construct communicators only
-//     through the deadline-bearing option structs from the failure model.
-//
-// # Suppressions
-//
-// A finding that is a deliberate, justified exception is silenced with a
-// directive on the flagged line or the line above:
-//
-//	//tilevet:allow determinism -- wall-clock Stats.Elapsed never feeds the grid
-//
-// The reason after "--" is mandatory and directives that suppress nothing
-// are themselves diagnostics, so the exception list cannot rot.
 package lint
 
 import (

@@ -1,0 +1,7 @@
+// Package model implements the completion-time cost models of Sections 3
+// and 4 of the paper: the non-overlapping model T = P(g)(T_comp + T_comm)
+// (eq. 3), the overlapping model T = P(g)·max(A1+A2+A3, B1+B2+B3+B4)
+// (eq. 4/5), and the tile-size optimization built on them.
+//
+// All times are in seconds.
+package model

@@ -1,0 +1,221 @@
+package mp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// chaoticOp is deliberately non-commutative and non-associative: any change
+// in the combine tree's shape or operand order changes the result bits, so
+// bit-equality across schedules proves the trees are identical.
+var chaoticOp ReduceOp = func(a, b float64) float64 { return a - b/3 }
+
+// schedCases enumerates the schedule/hint combinations the property tests
+// sweep, including shapes where the non-binomial schedules must fall back.
+func schedCases(size int) []CollectiveOpts {
+	return []CollectiveOpts{
+		{Schedule: ScheduleBinomial},
+		{Schedule: ScheduleRound},
+		{Schedule: ScheduleHierarchical, GroupSize: 2},
+		{Schedule: ScheduleHierarchical, GroupSize: 4},
+		{Schedule: ScheduleHierarchical, GroupSize: 3}, // never eligible: fallback
+		{Schedule: ScheduleAuto, GroupSize: size / 2},
+		{Schedule: ScheduleAuto},
+	}
+}
+
+// TestScheduledBcastDeliversEverywhere: every schedule delivers the root's
+// exact payload on every rank, over power-of-two and fallback sizes, odd
+// payload lengths (including empty and shorter-than-size) and all roots.
+func TestScheduledBcastDeliversEverywhere(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for _, plen := range []int{0, 1, 5, n, 37, 256} {
+			payload := make([]byte, plen)
+			for i := range payload {
+				payload[i] = byte(i*31 + n)
+			}
+			for root := 0; root < n; root += max(1, n/3) {
+				for _, o := range schedCases(n) {
+					o := o
+					err := Launch(n, func(c Comm) error {
+						buf := make([]byte, len(payload))
+						if c.Rank() == root {
+							copy(buf, payload)
+						}
+						if err := BcastOpts(c, root, buf, o); err != nil {
+							return err
+						}
+						if !bytes.Equal(buf, payload) {
+							return fmt.Errorf("rank %d got wrong payload under %v", c.Rank(), o.Schedule)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("n=%d len=%d root=%d opts=%+v: %v", n, plen, root, o, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduledReduceBitIdentical: the root's result bits under every
+// schedule equal the binomial schedule's, for a non-associative op — the
+// acceptance property that lets topology-driven schedule switches never
+// change numerics.
+func TestScheduledReduceBitIdentical(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 8, 16} {
+		for _, vlen := range []int{1, 3, 8, 17} {
+			for root := 0; root < n; root += max(1, n/2) {
+				for _, o := range schedCases(n) {
+					o := o
+					err := Launch(n, func(c Comm) error {
+						in := make([]float64, vlen)
+						for i := range in {
+							in[i] = float64(c.Rank()*vlen+i)*1.25 + 0.1
+						}
+						want, err := Reduce(c, root, in, chaoticOp)
+						if err != nil {
+							return err
+						}
+						got, err := ReduceOpts(c, root, in, chaoticOp, o)
+						if err != nil {
+							return err
+						}
+						if c.Rank() != root {
+							if got != nil {
+								return fmt.Errorf("non-root rank %d got a result", c.Rank())
+							}
+							return nil
+						}
+						for i := range want {
+							if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+								return fmt.Errorf("%v: elem %d = %x, binomial %x",
+									o.Schedule, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("n=%d len=%d root=%d opts=%+v: %v", n, vlen, root, o, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduledAllReduceBitIdentical: every rank's allreduce result bits
+// match the binomial AllReduce's under every schedule.
+func TestScheduledAllReduceBitIdentical(t *testing.T) {
+	for _, n := range []int{2, 4, 5, 8, 16} {
+		for _, vlen := range []int{1, 4, 13} {
+			for _, o := range schedCases(n) {
+				o := o
+				err := Launch(n, func(c Comm) error {
+					in := make([]float64, vlen)
+					for i := range in {
+						in[i] = math.Sqrt(float64(c.Rank()+1)) * float64(i+1)
+					}
+					want, err := AllReduce(c, in, chaoticOp)
+					if err != nil {
+						return err
+					}
+					got, err := AllReduceOpts(c, in, chaoticOp, o)
+					if err != nil {
+						return err
+					}
+					for i := range want {
+						if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+							return fmt.Errorf("rank %d %v: elem %d = %x, binomial %x",
+								c.Rank(), o.Schedule, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d len=%d opts=%+v: %v", n, vlen, o, err)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduledCollectivesUnderFaultDelays: random message delays perturb
+// timing but not results — the schedules' matching discipline (reserved
+// tags + non-overtaking) keeps payloads and reduction bits intact.
+func TestScheduledCollectivesUnderFaultDelays(t *testing.T) {
+	const n = 8
+	for _, o := range []CollectiveOpts{
+		{Schedule: ScheduleRound},
+		{Schedule: ScheduleHierarchical, GroupSize: 4},
+	} {
+		o := o
+		err := Launch(n, func(c Comm) error {
+			f := WithFaults(c, uint64(11+c.Rank()))
+			f.DelayProb = 0.4
+			f.Delay = time.Millisecond
+			in := []float64{float64(c.Rank()) + 0.5, -float64(c.Rank() * 3)}
+			want, err := AllReduce(c, in, chaoticOp) // fault-free reference
+			if err != nil {
+				return err
+			}
+			got, err := AllReduceOpts(f, in, chaoticOp, o)
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					return fmt.Errorf("rank %d: delayed %v result drifted", c.Rank(), o.Schedule)
+				}
+			}
+			payload := []byte("delayed but intact")
+			buf := make([]byte, len(payload))
+			if c.Rank() == 2 {
+				copy(buf, payload)
+			}
+			if err := BcastOpts(f, 2, buf, o); err != nil {
+				return err
+			}
+			if !bytes.Equal(buf, payload) {
+				return fmt.Errorf("rank %d: delayed bcast corrupted", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", o, err)
+		}
+	}
+}
+
+// TestScheduledCollectivesAbortPoison: an abort fired mid-collective
+// unblocks every rank of the round and hierarchical schedules with
+// ErrAborted — the scheduled paths inherit the Comm contract because they
+// are built purely from Send/Recv/Sendrecv.
+func TestScheduledCollectivesAbortPoison(t *testing.T) {
+	const n = 8
+	for _, o := range []CollectiveOpts{
+		{Schedule: ScheduleRound},
+		{Schedule: ScheduleHierarchical, GroupSize: 4},
+	} {
+		o := o
+		cause := errors.New("deliberate failure")
+		err := Launch(n, func(c Comm) error {
+			if c.Rank() == n-1 {
+				return c.Abort(cause)
+			}
+			_, err := AllReduceOpts(c, []float64{1, 2, 3}, OpSum, o)
+			if !errors.Is(err, ErrAborted) || !errors.Is(err, cause) {
+				return fmt.Errorf("rank %d: got %v, want ErrAborted wrapping the cause", c.Rank(), err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("opts=%+v: %v", o, err)
+		}
+	}
+}

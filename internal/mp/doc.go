@@ -1,0 +1,67 @@
+// Package mp is a from-scratch message-passing layer standing in for MPI
+// (the paper's substrate; no mature MPI binding exists for Go, so the
+// reproduction builds its own).
+//
+// It provides the primitives the paper's pseudocode uses — blocking
+// Send/Recv (ProcB) and non-blocking Isend/Irecv + Wait (ProcNB) — with
+// MPI-style matching on (source, tag) including wildcards, FIFO
+// non-overtaking order per (source, tag), and a Barrier.
+//
+// Two transports implement Comm:
+//
+//   - the in-process transport (NewWorld/Launch): ranks are goroutines
+//     sharing a matching fabric; this is the default substrate for the
+//     examples and the wall-clock comparison of the two schedules;
+//   - the TCP transport (ConnectTCP): ranks are separate processes meshed
+//     over TCP sockets via the net package, for multi-process runs.
+//
+// # Collective schedules
+//
+// The collectives come in pluggable schedules (CollectiveOpts): the
+// log-depth binomial tree is the default, and BcastOpts / ReduceOpts /
+// AllReduceOpts additionally offer round-based schedules in the style of
+// Träff's optimal-depth constructions (scatter + recursive doubling for
+// broadcast, recursive-halving reduce-scatter + gather for reduce) and a
+// two-stage hierarchical schedule that follows a switch hierarchy
+// (intra-group first, then across group leaders — GroupSize is the
+// topology hint, typically topo.Spec.GroupSize(0)). Schedule selection
+// never changes results: every reduction schedule evaluates the exact
+// expression tree of the binomial schedule, so even non-associative
+// floating-point reductions are bit-identical across schedules (the
+// property tests in collsched_test.go sweep this, and DESIGN.md §12
+// explains why the trees coincide). Shapes a schedule cannot serve
+// (non-power-of-two worlds, indivisible groups) fall back to binomial
+// transparently, and all schedules inherit the Comm contract below —
+// reserved tags, non-overtaking matching, deadline and abort semantics.
+//
+// # Failure handling
+//
+// Like MPI, the collective operations and Barrier require every rank to
+// participate, but unlike classical MPI a stuck or dead peer does not wedge
+// the world forever. Three mechanisms bound every blocking operation:
+//
+//   - Deadlines: a per-communicator default deadline (WorldOptions.Deadline,
+//     TCPOptions.Deadline) bounds each blocking wait — Recv, Request.Wait,
+//     Barrier — which then fails with ErrDeadline instead of blocking
+//     forever. A deadline-expired receive is withdrawn from the matching
+//     queue; the message it would have matched stays deliverable to a later
+//     receive.
+//
+//   - Cooperative abort: any rank may call Comm.Abort(cause). The abort is
+//     disseminated over a log-depth binomial tree (on the TCP transport;
+//     in-process it is a shared-memory poison), and every rank's pending and
+//     future operations — point-to-point, collectives, and Barrier — fail
+//     with an *AbortError carrying the origin rank and cause
+//     (errors.Is(err, ErrAborted) reports true). Runner code calls Abort on
+//     any mid-run error so peers unblock promptly instead of deadlocking.
+//
+//   - Failure detection (TCP): TCPOptions.Heartbeat starts a liveness probe
+//     on a reserved control tag; a peer silent for HeartbeatMiss intervals
+//     triggers an abort naming it. Connection loss is an even faster signal:
+//     with AbortOnDisconnect (implied by heartbeats), a peer that vanishes
+//     without the shutdown handshake aborts the world immediately.
+//
+// Deterministic configuration validation should still happen on every rank
+// before the first collective (as runner does): a validation failure is then
+// reported identically everywhere without any abort traffic.
+package mp

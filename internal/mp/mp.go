@@ -1,50 +1,3 @@
-// Package mp is a from-scratch message-passing layer standing in for MPI
-// (the paper's substrate; no mature MPI binding exists for Go, so the
-// reproduction builds its own).
-//
-// It provides the primitives the paper's pseudocode uses — blocking
-// Send/Recv (ProcB) and non-blocking Isend/Irecv + Wait (ProcNB) — with
-// MPI-style matching on (source, tag) including wildcards, FIFO
-// non-overtaking order per (source, tag), and a Barrier.
-//
-// Two transports implement Comm:
-//
-//   - the in-process transport (NewWorld/Launch): ranks are goroutines
-//     sharing a matching fabric; this is the default substrate for the
-//     examples and the wall-clock comparison of the two schedules;
-//   - the TCP transport (ConnectTCP): ranks are separate processes meshed
-//     over TCP sockets via the net package, for multi-process runs.
-//
-// # Failure handling
-//
-// Like MPI, the collective operations and Barrier require every rank to
-// participate, but unlike classical MPI a stuck or dead peer does not wedge
-// the world forever. Three mechanisms bound every blocking operation:
-//
-//   - Deadlines: a per-communicator default deadline (WorldOptions.Deadline,
-//     TCPOptions.Deadline) bounds each blocking wait — Recv, Request.Wait,
-//     Barrier — which then fails with ErrDeadline instead of blocking
-//     forever. A deadline-expired receive is withdrawn from the matching
-//     queue; the message it would have matched stays deliverable to a later
-//     receive.
-//
-//   - Cooperative abort: any rank may call Comm.Abort(cause). The abort is
-//     disseminated over a log-depth binomial tree (on the TCP transport;
-//     in-process it is a shared-memory poison), and every rank's pending and
-//     future operations — point-to-point, collectives, and Barrier — fail
-//     with an *AbortError carrying the origin rank and cause
-//     (errors.Is(err, ErrAborted) reports true). Runner code calls Abort on
-//     any mid-run error so peers unblock promptly instead of deadlocking.
-//
-//   - Failure detection (TCP): TCPOptions.Heartbeat starts a liveness probe
-//     on a reserved control tag; a peer silent for HeartbeatMiss intervals
-//     triggers an abort naming it. Connection loss is an even faster signal:
-//     with AbortOnDisconnect (implied by heartbeats), a peer that vanishes
-//     without the shutdown handshake aborts the world immediately.
-//
-// Deterministic configuration validation should still happen on every rank
-// before the first collective (as runner does): a validation failure is then
-// reported identically everywhere without any abort traffic.
 package mp
 
 import (

@@ -1,0 +1,27 @@
+// Package obs is the unified observability layer shared by the simulated
+// and the real execution paths of the reproduction.
+//
+// The paper's whole argument is about where time goes: eq. 4 decomposes
+// every tile step into CPU-resident terms (A1 fill-MPI-send, A2 compute,
+// A3 fill-MPI-recv) and communication terms (B1 wire-rx, B2/B3 kernel
+// copies, B4 wire-tx), and the overlapped schedule wins exactly when the
+// B side hides behind the A side. This package turns both execution
+// substrates into numbers that make that argument checkable:
+//
+//   - Simulator side (this file): Analyze aggregates the per-activity
+//     interval log of a simnet run into a Report — busy/idle/queue-wait per
+//     CPU and NIC port, the cluster-wide overlap efficiency
+//     (hidden-communication-time / total-communication-time), and the fault
+//     counters (retransmits, pauses) attached by internal/sim. The paper's
+//     "100% processor utilization" claim and the question "what fraction of
+//     the wire time did the schedule actually hide?" both read directly off
+//     a Report.
+//
+//   - Runtime side (comm.go, server.go): InstrumentComm wraps any mp.Comm
+//     with per-peer traffic counters, blocking-wait histograms and TCP
+//     dial/retry/error counters, exposed over expvar + net/http/pprof and
+//     dumpable as a JSON snapshot at teardown.
+//
+// OBSERVABILITY.md documents every metric and maps it back to the paper's
+// A1–A3/B1–B4 terms.
+package obs

@@ -1,29 +1,3 @@
-// Package obs is the unified observability layer shared by the simulated
-// and the real execution paths of the reproduction.
-//
-// The paper's whole argument is about where time goes: eq. 4 decomposes
-// every tile step into CPU-resident terms (A1 fill-MPI-send, A2 compute,
-// A3 fill-MPI-recv) and communication terms (B1 wire-rx, B2/B3 kernel
-// copies, B4 wire-tx), and the overlapped schedule wins exactly when the
-// B side hides behind the A side. This package turns both execution
-// substrates into numbers that make that argument checkable:
-//
-//   - Simulator side (this file): Analyze aggregates the per-activity
-//     interval log of a simnet run into a Report — busy/idle/queue-wait per
-//     CPU and NIC port, the cluster-wide overlap efficiency
-//     (hidden-communication-time / total-communication-time), and the fault
-//     counters (retransmits, pauses) attached by internal/sim. The paper's
-//     "100% processor utilization" claim and the question "what fraction of
-//     the wire time did the schedule actually hide?" both read directly off
-//     a Report.
-//
-//   - Runtime side (comm.go, server.go): InstrumentComm wraps any mp.Comm
-//     with per-peer traffic counters, blocking-wait histograms and TCP
-//     dial/retry/error counters, exposed over expvar + net/http/pprof and
-//     dumpable as a JSON snapshot at teardown.
-//
-// OBSERVABILITY.md documents every metric and maps it back to the paper's
-// A1–A3/B1–B4 terms.
 package obs
 
 import (
@@ -52,6 +26,12 @@ const (
 	KindNICOut
 	// KindBus is the single shared medium of the SharedBus interconnect.
 	KindBus
+	// KindUplink is one upward switch-to-switch link of a hierarchical
+	// interconnect (simnet.Fabric).
+	KindUplink
+	// KindDownlink is one downward switch-to-switch link of a hierarchical
+	// interconnect.
+	KindDownlink
 	// KindOther is a resource the classifier does not recognize; it gets
 	// per-resource stats but takes no part in the overlap accounting.
 	KindOther
@@ -69,6 +49,10 @@ func (k ResourceKind) String() string {
 		return "tx"
 	case KindBus:
 		return "bus"
+	case KindUplink:
+		return "up"
+	case KindDownlink:
+		return "down"
 	default:
 		return "other"
 	}
@@ -78,7 +62,18 @@ func (k ResourceKind) String() string {
 // communication time in the overlap accounting.
 func (k ResourceKind) comm() bool {
 	switch k {
-	case KindNIC, KindNICIn, KindNICOut, KindBus:
+	case KindNIC, KindNICIn, KindNICOut, KindBus, KindUplink, KindDownlink:
+		return true
+	default:
+		return false
+	}
+}
+
+// shared reports whether the resource serves the whole cluster rather than
+// one node: its busy time is hidden whenever any CPU is busy.
+func (k ResourceKind) shared() bool {
+	switch k {
+	case KindBus, KindUplink, KindDownlink:
 		return true
 	default:
 		return false
@@ -96,9 +91,13 @@ type Interval struct {
 type Track struct {
 	Name string
 	Kind ResourceKind
-	// Node is the owning processor's rank, or -1 for shared resources (the
-	// bus) and unclassified ones.
+	// Node is the owning processor's rank; for fabric links it is the
+	// link's index within its level's direction group; -1 for the bus and
+	// unclassified resources.
 	Node int64
+	// Level is the hierarchy tier of a fabric link (KindUplink,
+	// KindDownlink); 0 for everything else.
+	Level int
 	// Intervals must be non-overlapping (the resource is serial); Analyze
 	// sorts them by start time.
 	Intervals []Interval
@@ -114,6 +113,8 @@ type ResourceStats struct {
 	Name string
 	Kind ResourceKind
 	Node int64
+	// Level is the hierarchy tier of a fabric link; 0 otherwise.
+	Level int
 	// Busy is the total time the resource executed activities.
 	Busy float64
 	// Idle is Makespan − Busy (exactly): the time the resource sat
@@ -151,6 +152,10 @@ type Report struct {
 	// paper's Section 4 pushes toward 1 for the overlapped schedule.
 	MeanCPUUtilization float64
 
+	// LinkLevels aggregates the fabric link tracks per hierarchy tier,
+	// lowest level first. Empty when the interconnect is flat.
+	LinkLevels []LinkLevelStats
+
 	// Fault counters, attached by internal/sim when a fault plan is active.
 	// Retransmits counts lost transmission attempts that were re-sent,
 	// Pauses counts transient node pauses injected into CPU program order.
@@ -159,6 +164,29 @@ type Report struct {
 	// LinkRetransmits breaks Retransmits down per directed processor pair
 	// ("p2->p5"). Nil when no retransmission occurred.
 	LinkRetransmits map[string]int
+}
+
+// LinkLevelStats aggregates one hierarchy tier's uplinks and downlinks: the
+// per-level busy/idle/contention summary OBSERVABILITY.md calls the uplink
+// occupancy view. The identity Idle == Links×Makespan − Busy holds exactly
+// (Idle is defined as that subtraction).
+type LinkLevelStats struct {
+	// Level is the tier (0 = edge uplinks).
+	Level int
+	// Links counts the tier's link resources, both directions.
+	Links int
+	// Busy sums occupancy across the tier's links.
+	Busy float64
+	// Idle is Links×Makespan − Busy (exactly).
+	Idle float64
+	// QueueWait sums the time transfers sat ready but queued behind the
+	// tier's links — the contention the topology induced.
+	QueueWait float64
+	// Activities counts hop traversals carried by the tier.
+	Activities int
+	// MaxBusy is the hottest single link's busy time: the gap between
+	// MaxBusy and Busy/Links measures load imbalance across the tier.
+	MaxBusy float64
 }
 
 // trackOrder ranks tracks for the canonical Resources ordering.
@@ -172,8 +200,12 @@ func trackOrder(k ResourceKind) int {
 		return 2
 	case KindBus:
 		return 3
-	default:
+	case KindUplink:
 		return 4
+	case KindDownlink:
+		return 5
+	default:
+		return 6
 	}
 }
 
@@ -191,6 +223,9 @@ func Analyze(makespan float64, tracks []Track) *Report {
 		if oi != oj {
 			return oi < oj
 		}
+		if ts[i].Level != ts[j].Level {
+			return ts[i].Level < ts[j].Level
+		}
 		return ts[i].Node < ts[j].Node
 	})
 
@@ -202,7 +237,7 @@ func Analyze(makespan float64, tracks []Track) *Report {
 		sort.SliceStable(tr.Intervals, func(a, b int) bool {
 			return tr.Intervals[a].Start < tr.Intervals[b].Start
 		})
-		st := ResourceStats{Name: tr.Name, Kind: tr.Kind, Node: tr.Node}
+		st := ResourceStats{Name: tr.Name, Kind: tr.Kind, Node: tr.Node, Level: tr.Level}
 		for _, iv := range tr.Intervals {
 			st.Busy += iv.End - iv.Start
 			if w := iv.Start - iv.Ready; w > 0 {
@@ -220,6 +255,23 @@ func Analyze(makespan float64, tracks []Track) *Report {
 		case tr.Kind.comm():
 			r.CommBusy += st.Busy
 		}
+		if tr.Kind == KindUplink || tr.Kind == KindDownlink {
+			for len(r.LinkLevels) <= tr.Level {
+				r.LinkLevels = append(r.LinkLevels, LinkLevelStats{Level: len(r.LinkLevels)})
+			}
+			ll := &r.LinkLevels[tr.Level]
+			ll.Links++
+			ll.Busy += st.Busy
+			ll.QueueWait += st.QueueWait
+			ll.Activities += st.Activities
+			if st.Busy > ll.MaxBusy {
+				ll.MaxBusy = st.Busy
+			}
+		}
+	}
+	for i := range r.LinkLevels {
+		ll := &r.LinkLevels[i]
+		ll.Idle = float64(ll.Links)*makespan - ll.Busy
 	}
 
 	// allCPU is the union of every CPU's busy intervals — what bus
@@ -240,7 +292,7 @@ func Analyze(makespan float64, tracks []Track) *Report {
 			continue
 		}
 		against := allCPU
-		if tr.Kind != KindBus {
+		if !tr.Kind.shared() {
 			against = cpuBusy[tr.Node]
 		}
 		r.HiddenComm += overlap(tr.Intervals, against)
@@ -298,22 +350,50 @@ func overlap(a, b []Interval) float64 {
 }
 
 // classify parses a simulated resource name as emitted by the sim builder
-// ("cpu3", "comm3", "rx3", "tx3", "bus").
-func classify(name string) (ResourceKind, int64) {
+// ("cpu3", "comm3", "rx3", "tx3", "bus") or the fabric ("up0.3", "down1.2" —
+// level, then the link's index within the level's direction group).
+func classify(name string) (kind ResourceKind, node int64, level int) {
 	for _, p := range []struct {
 		prefix string
 		kind   ResourceKind
 	}{{"cpu", KindCPU}, {"comm", KindNIC}, {"rx", KindNICIn}, {"tx", KindNICOut}} {
 		if rest, ok := strings.CutPrefix(name, p.prefix); ok {
 			if n, err := strconv.ParseInt(rest, 10, 64); err == nil {
-				return p.kind, n
+				return p.kind, n, 0
+			}
+		}
+	}
+	for _, p := range []struct {
+		prefix string
+		kind   ResourceKind
+	}{{"up", KindUplink}, {"down", KindDownlink}} {
+		if rest, ok := strings.CutPrefix(name, p.prefix); ok {
+			if l, i, ok := parseLink(rest); ok {
+				return p.kind, i, l
 			}
 		}
 	}
 	if name == "bus" {
-		return KindBus, -1
+		return KindBus, -1, 0
 	}
-	return KindOther, -1
+	return KindOther, -1, 0
+}
+
+// parseLink parses the "<level>.<index>" tail of a fabric link name.
+func parseLink(s string) (level int, index int64, ok bool) {
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return 0, 0, false
+	}
+	l, err := strconv.Atoi(s[:dot])
+	if err != nil || l < 0 {
+		return 0, 0, false
+	}
+	i, err := strconv.ParseInt(s[dot+1:], 10, 64)
+	if err != nil || i < 0 {
+		return 0, 0, false
+	}
+	return l, i, true
 }
 
 // TracksFromTrace rebuilds per-resource tracks from a labeled simulation
@@ -327,10 +407,10 @@ func TracksFromTrace(entries []simnet.TraceEntry) []Track {
 	for _, e := range entries {
 		i, ok := idx[e.Resource]
 		if !ok {
-			kind, node := classify(e.Resource)
+			kind, node, level := classify(e.Resource)
 			i = len(tracks)
 			idx[e.Resource] = i
-			tracks = append(tracks, Track{Name: e.Resource, Kind: kind, Node: node})
+			tracks = append(tracks, Track{Name: e.Resource, Kind: kind, Node: node, Level: level})
 		}
 		tracks[i].Intervals = append(tracks[i].Intervals,
 			Interval{Ready: e.Ready, Start: e.Start, End: e.End})
@@ -364,6 +444,17 @@ func (r *Report) WriteText(w io.Writer) error {
 		"overlap efficiency %.1f%% (hidden %.6fs of %.6fs comm)\n",
 		100*r.OverlapEfficiency, r.HiddenComm, r.CommBusy); err != nil {
 		return err
+	}
+	for _, ll := range r.LinkLevels {
+		mean := 0.0
+		if ll.Links > 0 {
+			mean = ll.Busy / float64(ll.Links)
+		}
+		if _, err := fmt.Fprintf(w,
+			"link level %d: %d links | busy %.6fs (mean %.6fs, hottest %.6fs) | queue %.6fs | %d hops\n",
+			ll.Level, ll.Links, ll.Busy, mean, ll.MaxBusy, ll.QueueWait, ll.Activities); err != nil {
+			return err
+		}
 	}
 	if r.Retransmits > 0 || r.Pauses > 0 {
 		links := make([]string, 0, len(r.LinkRetransmits))

@@ -128,18 +128,61 @@ func TestOverlapPartial(t *testing.T) {
 
 func TestClassify(t *testing.T) {
 	cases := []struct {
-		name string
-		kind ResourceKind
-		node int64
+		name  string
+		kind  ResourceKind
+		node  int64
+		level int
 	}{
-		{"cpu0", KindCPU, 0}, {"cpu15", KindCPU, 15},
-		{"comm3", KindNIC, 3}, {"rx2", KindNICIn, 2}, {"tx7", KindNICOut, 7},
-		{"bus", KindBus, -1}, {"weird", KindOther, -1}, {"cpuX", KindOther, -1},
+		{"cpu0", KindCPU, 0, 0}, {"cpu15", KindCPU, 15, 0},
+		{"comm3", KindNIC, 3, 0}, {"rx2", KindNICIn, 2, 0}, {"tx7", KindNICOut, 7, 0},
+		{"bus", KindBus, -1, 0}, {"weird", KindOther, -1, 0}, {"cpuX", KindOther, -1, 0},
+		{"up0.3", KindUplink, 3, 0}, {"down1.12", KindDownlink, 12, 1},
+		{"up2", KindOther, -1, 0}, {"up.3", KindOther, -1, 0}, {"upX.3", KindOther, -1, 0},
 	}
 	for _, c := range cases {
-		k, n := classify(c.name)
-		if k != c.kind || n != c.node {
-			t.Errorf("classify(%q) = (%v, %d), want (%v, %d)", c.name, k, n, c.kind, c.node)
+		k, n, l := classify(c.name)
+		if k != c.kind || n != c.node || l != c.level {
+			t.Errorf("classify(%q) = (%v, %d, %d), want (%v, %d, %d)",
+				c.name, k, n, l, c.kind, c.node, c.level)
+		}
+	}
+}
+
+func TestAnalyzeLinkLevels(t *testing.T) {
+	tracks := []Track{
+		{Name: "cpu0", Kind: KindCPU, Node: 0, Intervals: []Interval{{0, 0, 10}}},
+		{Name: "up0.0", Kind: KindUplink, Node: 0, Level: 0,
+			Intervals: []Interval{{0, 0, 4}, {4, 5, 7}}},
+		{Name: "up0.1", Kind: KindUplink, Node: 1, Level: 0,
+			Intervals: []Interval{{0, 0, 2}}},
+		{Name: "down0.0", Kind: KindDownlink, Node: 0, Level: 0,
+			Intervals: []Interval{{0, 4, 6}}},
+		{Name: "up1.0", Kind: KindUplink, Node: 0, Level: 1,
+			Intervals: []Interval{{0, 1, 2}}},
+	}
+	r := Analyze(10, tracks)
+	if len(r.LinkLevels) != 2 {
+		t.Fatalf("got %d link levels, want 2", len(r.LinkLevels))
+	}
+	l0 := r.LinkLevels[0]
+	if l0.Links != 3 || l0.Busy != 10 || l0.QueueWait != 5 || l0.Activities != 4 ||
+		l0.MaxBusy != 6 || l0.Idle != 20 {
+		t.Errorf("level 0 stats wrong: %+v", l0)
+	}
+	l1 := r.LinkLevels[1]
+	if l1.Links != 1 || l1.Busy != 1 || l1.MaxBusy != 1 || l1.Idle != 9 {
+		t.Errorf("level 1 stats wrong: %+v", l1)
+	}
+	// Link time is hidden against the union of all CPUs (links are shared).
+	if r.CommBusy != 11 || r.HiddenComm != 11 || r.OverlapEfficiency != 1 {
+		t.Errorf("overlap accounting wrong: comm=%g hidden=%g eff=%g",
+			r.CommBusy, r.HiddenComm, r.OverlapEfficiency)
+	}
+	// Canonical order: CPUs, then uplinks by level then index, then downlinks.
+	want := []string{"cpu0", "up0.0", "up0.1", "up1.0", "down0.0"}
+	for i, st := range r.Resources {
+		if st.Name != want[i] {
+			t.Errorf("resource %d = %q, want %q", i, st.Name, want[i])
 		}
 	}
 }

@@ -1,0 +1,15 @@
+// Package planapi is the serializable, versioned API boundary in front of
+// internal/experiments: the wire contract a planning service (cmd/tileserve)
+// speaks, and the strict validation that keeps an untrusted request from
+// buying unbounded simulator work.
+//
+// The contract is deliberately narrow for version 1: one request asks for
+// the optimum tile height of one (space, procs, machine, schedule) point —
+// exactly the query `tileplan -optimum` answers offline — and the response
+// carries the answer plus the provenance the tiered search reports (which
+// tier, how many probes, why the exact tier ran). Every limit a request
+// must respect is a named constant below, so the admission story is
+// auditable: a decoded request is either fully valid and worth at most
+// MaxWorstCaseTiles of DAG construction per DES evaluation, or rejected
+// before any simulator state is touched.
+package planapi

@@ -1,8 +1,3 @@
-// Package runner executes the paper's Section 5 experiment for real on the
-// mp message-passing layer: the 3-D stencil over an I×J×K space, tiled
-// (I/PI)×(J/PJ)×V with all k-tiles of a column mapped to one rank, under
-// either the blocking receive→compute→send scheme (ProcB) or the
-// non-blocking overlapped scheme (ProcNB) from the paper's pseudocode.
 package runner
 
 import (

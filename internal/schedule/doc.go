@@ -1,0 +1,20 @@
+// Package schedule implements linear time schedules for tiled iteration
+// spaces (Sections 2.5, 3 and 4 of the paper).
+//
+// A linear schedule Π assigns tile j^S the execution step
+//
+//	t(j^S) = ⌊(Π·j^S + t₀) / dispΠ⌋ ,  t₀ = −min{Π·j : j ∈ J^S},
+//	dispΠ = min{Π·d : d ∈ D^S}
+//
+// Two schedules matter here:
+//
+//   - the non-overlapping optimal schedule Π = (1, 1, …, 1) for the unit
+//     dependence matrix of the tiled space (Hodzic & Shang), in which each
+//     step is a full receive→compute→send triplet, and
+//   - the overlapping schedule with coefficient 1 along the processor
+//     mapping dimension and 2 along every other dimension
+//     (t = 2j₁+…+2j_{i−1}+j_i+2j_{i+1}+…+2j_n), which permits computation
+//     at step k to overlap the send of step k−1's results and the receive
+//     of step k+1's inputs (Section 4, after Andronikos et al.'s UET-UCT
+//     optimality result).
+package schedule

@@ -18,11 +18,13 @@ import (
 // Messages live in a chunked arena. Human-readable activity labels are only
 // materialized when Config.Trace is set; untraced sweeps run label-free.
 type builder struct {
-	cfg   Config
-	eng   *simnet.Engine
-	nodes []node
-	bus   *simnet.Resource // the single medium in SharedBus mode
-	trace bool
+	cfg    Config
+	eng    *simnet.Engine
+	nodes  []node
+	bus    *simnet.Resource // the single medium in SharedBus mode
+	fabric *simnet.Fabric   // hierarchical links, nil when Interconnect is flat
+	hops   []simnet.Hop     // reusable route buffer (wire() is serial)
+	trace  bool
 	// fp is the active fault plan, nil when Config.Fault is absent or has
 	// zero intensity — the fault-free build path stays byte-identical.
 	fp *fault.Plan
@@ -123,14 +125,21 @@ func (b *builder) build() error {
 	b.eng.KeepTrace(b.trace)
 	b.eng.KeepUtilization(b.trace)
 	b.eng.KeepIntervals(b.cfg.Metrics)
-	b.makeNodes()
+	if err := b.makeNodes(); err != nil {
+		return err
+	}
 	b.collectMessages()
 	// Pre-size the engine: each tile emits one compute plus a few activities
 	// and edges per message (at most 6 activities and ~12 edges per message
-	// across both modes, bus stage included). An active fault plan can add a
-	// pause per tile and up to 2·MaxResend activities (retransmission +
-	// timeout) per message.
+	// across both modes, bus stage included). A hierarchical interconnect
+	// adds up to 2·Levels hop activities (one edge each) per message. An
+	// active fault plan can add a pause per tile and up to 2·MaxResend
+	// activities (retransmission + timeout) per message.
 	acts, edges := b.numTiles+6*b.numMsgs+1, 2*b.numTiles+12*b.numMsgs
+	if lv := b.cfg.Interconnect.Levels; lv > 0 {
+		acts += 2 * lv * b.numMsgs
+		edges += 2 * lv * b.numMsgs
+	}
 	if b.fp != nil {
 		acts += b.numTiles + 2*b.fp.MaxResend*b.numMsgs
 		edges += b.numTiles + 2*b.fp.MaxResend*b.numMsgs
@@ -146,12 +155,20 @@ func (b *builder) build() error {
 }
 
 // makeNodes creates the per-processor resources according to the hardware
-// capability. Resource names are only rendered when tracing; the engine
-// identifies resources by pointer.
-func (b *builder) makeNodes() {
+// capability, plus the hierarchical fabric's link resources when the
+// interconnect is not flat. Resource names are only rendered when tracing;
+// the engine identifies resources by pointer.
+func (b *builder) makeNodes() error {
 	n := b.cfg.Topo.Map.NumProcs()
 	b.numProcs = n
 	b.nodes = make([]node, n)
+	if !b.cfg.Interconnect.Flat() {
+		f, err := simnet.NewFabric(b.eng, b.cfg.Interconnect, n, b.trace)
+		if err != nil {
+			return err
+		}
+		b.fabric = f
+	}
 	rname := func(format string, p int64) string {
 		if !b.trace {
 			return ""
@@ -181,6 +198,7 @@ func (b *builder) makeNodes() {
 	if b.fp != nil {
 		b.installPerturb()
 	}
+	return nil
 }
 
 // installPerturb registers the engine-level duration hook carrying the
@@ -188,7 +206,7 @@ func (b *builder) makeNodes() {
 // processor's CPU, link slowdown factors on each communication port (rx
 // port 2p, tx port 2p+1, shared bus −1). Per-message jitter and
 // retransmissions are handled structurally in wire(); resources without a
-// factor (none exist today) pass through unchanged.
+// factor — fabric links among them — pass through unchanged.
 func (b *builder) installPerturb() {
 	factors := make(map[*simnet.Resource]float64, 3*len(b.nodes)+1)
 	for p := range b.nodes {
@@ -593,6 +611,21 @@ func (b *builder) wire(m *message, pred *simnet.Activity) *simnet.Activity {
 		}
 	}
 	last := prev
+	if b.fabric != nil {
+		// Hierarchical interconnect: the message climbs the sender-side
+		// uplinks and descends the receiver-side downlinks between the tx
+		// and rx ports. Each hop occupies its link for the unjittered wire
+		// time scaled by the link's bandwidth factor, plus the per-hop
+		// latency (fault jitter and loss live on the node ports; the fabric
+		// is the deterministic part of the path).
+		b.hops = b.fabric.Route(m.fromProc, m.toProc, b.hops[:0])
+		for _, h := range b.hops {
+			a := b.eng.NewActivity(h.Res, base/h.BW+h.Latency,
+				b.mlabel("wire-hop", m, false))
+			b.eng.AddDep(last, a)
+			last = a
+		}
+	}
 	if b.cfg.Network == SharedBus {
 		// The shared medium is an extra arbitration stage between the tx
 		// and rx ports: every message in the cluster serializes through it.

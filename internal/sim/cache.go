@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/model"
+	"repro/internal/topo"
 )
 
 // cacheKey identifies one grid simulation point. Every field is a plain
@@ -15,15 +16,16 @@ import (
 // search, or a sweep height re-simulated by a later Optimum call — collapse
 // onto one entry.
 type cacheKey struct {
-	grid    model.Grid3D
-	v       int64
-	machine model.Machine
-	mode    Mode
-	cap     Capability
-	net     Network
-	fault   fault.Plan
-	metrics bool
-	trace   bool
+	grid         model.Grid3D
+	v            int64
+	machine      model.Machine
+	mode         Mode
+	cap          Capability
+	net          Network
+	interconnect topo.Spec
+	fault        fault.Plan
+	metrics      bool
+	trace        bool
 }
 
 // shardIndex hashes the cheap discriminating key fields (FNV-1a over the
@@ -48,6 +50,9 @@ func (k *cacheKey) shardIndex() int {
 	mix(uint64(k.grid.PJ))
 	mix(uint64(k.v))
 	mix(uint64(k.mode)<<8 | uint64(k.cap)<<4 | uint64(k.net)<<2)
+	if lv := k.interconnect.Levels; lv > 0 {
+		mix(uint64(lv)<<16 | uint64(k.interconnect.L[0].Radix))
+	}
 	if k.metrics {
 		mix(1)
 	}
@@ -118,7 +123,8 @@ func (s *cacheShard) touch(e *cacheEntry) {
 }
 
 // Cache memoizes grid simulation results keyed on (grid, V, machine, mode,
-// capability, network, fault plan, metrics/trace flags). The simulator is
+// capability, network, interconnect hierarchy, fault plan, metrics/trace
+// flags). The simulator is
 // deterministic, so a cached Result is bit-identical to a fresh run. A
 // Cache is safe for concurrent use and keeps a pool of Simulators so
 // misses reuse engine memory instead of allocating fresh engines.
@@ -251,7 +257,7 @@ func (c *Cache) SimulateGridCtx(ctx context.Context, g model.Grid3D, v int64, m 
 		o.Fault = fault.Plan{}
 	}
 	key := cacheKey{grid: g, v: v, machine: m, mode: mode, cap: cap, net: o.Net,
-		fault: o.Fault, metrics: o.Metrics, trace: o.Trace}
+		interconnect: o.Interconnect, fault: o.Fault, metrics: o.Metrics, trace: o.Trace}
 	sh := &c.shards[key.shardIndex()]
 
 	sh.mu.Lock()
@@ -318,6 +324,7 @@ func (c *Cache) eval(key cacheKey, o GridOpts) (Result, error) {
 		return Result{}, err
 	}
 	cfg.Network = o.Net
+	cfg.Interconnect = o.Interconnect
 	if o.Fault.Active() {
 		fp := o.Fault
 		cfg.Fault = &fp

@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/schedule"
 	"repro/internal/space"
+	"repro/internal/topo"
 )
 
 // GridTopology builds the Topology of the paper's Section 5 experiments: a
@@ -100,14 +101,15 @@ func SimulateGridFault(c model.Grid3D, v int64, m model.Machine, mode Mode, cap 
 }
 
 // GridOpts bundles the optional knobs of a grid simulation: the interconnect
-// model (zero value: switched), a fault plan (zero value: fault-free), the
-// phase-accounting metrics pass and the full labeled trace (both off by
-// default).
+// model (zero value: switched), the switch hierarchy (zero value: flat), a
+// fault plan (zero value: fault-free), the phase-accounting metrics pass and
+// the full labeled trace (both off by default).
 type GridOpts struct {
-	Net     Network
-	Fault   fault.Plan
-	Metrics bool
-	Trace   bool
+	Net          Network
+	Interconnect topo.Spec
+	Fault        fault.Plan
+	Metrics      bool
+	Trace        bool
 }
 
 // SimulateGridWith is SimulateGrid with the full option set; the other
@@ -118,6 +120,7 @@ func SimulateGridWith(c model.Grid3D, v int64, m model.Machine, mode Mode, cap C
 		return Result{}, err
 	}
 	cfg.Network = o.Net
+	cfg.Interconnect = o.Interconnect
 	if o.Fault.Active() {
 		fp := o.Fault
 		cfg.Fault = &fp

@@ -12,30 +12,42 @@ import (
 // read off the resources because metrics-only runs build unnamed resources
 // (labels cost allocations the sweeps refuse to pay); the synthesized names
 // match what a traced build would have used, so obs.TracksFromTrace on a
-// traced run of the same config yields the identical report.
+// traced run of the same config yields the identical report — up to
+// resources that never executed anything (idle fabric links of a sparse
+// traffic pattern): this report lists them with zero busy time, while a
+// trace never mentions them.
 func (b *builder) obsReport(makespan float64) *obs.Report {
 	ivs := b.eng.Intervals()
 	idx := make(map[*simnet.Resource]int, 3*len(b.nodes)+1)
 	var tracks []obs.Track
-	add := func(r *simnet.Resource, name string, kind obs.ResourceKind, node int64) {
+	add := func(r *simnet.Resource, name string, kind obs.ResourceKind, node int64, level int) {
 		if _, ok := idx[r]; ok {
 			return
 		}
 		idx[r] = len(tracks)
-		tracks = append(tracks, obs.Track{Name: name, Kind: kind, Node: node})
+		tracks = append(tracks, obs.Track{Name: name, Kind: kind, Node: node, Level: level})
 	}
 	for p := range b.nodes {
 		n := &b.nodes[p]
-		add(n.cpu, fmt.Sprintf("cpu%d", p), obs.KindCPU, int64(p))
+		add(n.cpu, fmt.Sprintf("cpu%d", p), obs.KindCPU, int64(p), 0)
 		if n.commIn == n.commOut {
-			add(n.commIn, fmt.Sprintf("comm%d", p), obs.KindNIC, int64(p))
+			add(n.commIn, fmt.Sprintf("comm%d", p), obs.KindNIC, int64(p), 0)
 		} else {
-			add(n.commIn, fmt.Sprintf("rx%d", p), obs.KindNICIn, int64(p))
-			add(n.commOut, fmt.Sprintf("tx%d", p), obs.KindNICOut, int64(p))
+			add(n.commIn, fmt.Sprintf("rx%d", p), obs.KindNICIn, int64(p), 0)
+			add(n.commOut, fmt.Sprintf("tx%d", p), obs.KindNICOut, int64(p), 0)
 		}
 	}
 	if b.bus != nil {
-		add(b.bus, "bus", obs.KindBus, -1)
+		add(b.bus, "bus", obs.KindBus, -1, 0)
+	}
+	if b.fabric != nil {
+		b.fabric.Links(func(level int, up bool, index int, r *simnet.Resource) {
+			dir, kind := "up", obs.KindUplink
+			if !up {
+				dir, kind = "down", obs.KindDownlink
+			}
+			add(r, fmt.Sprintf("%s%d.%d", dir, level, index), kind, int64(index), level)
+		})
 	}
 	// Bucket-fill the per-track interval slices out of one backing array
 	// (count pass, then carve, then fill) — the log can hold millions of

@@ -1,19 +1,3 @@
-// Package sim executes tiled schedules on the simnet discrete-event cluster
-// simulator, reproducing the paper's Section 5 experiments deterministically.
-//
-// It builds, for every tile, the phase decomposition of Fig. 4:
-//
-//	A1 = T_fill_MPI_buffer(send)    — CPU, non-overlappable
-//	A2 = T_compute                  — CPU
-//	A3 = T_fill_MPI_buffer(receive) — CPU, non-overlappable
-//	B1 = T_receive (wire, rx side)  — NIC in
-//	B2 = T_fill_kernel_buffer(recv) — DMA (or CPU without DMA)
-//	B3 = T_fill_kernel_buffer(send) — DMA (or CPU without DMA)
-//	B4 = T_transmit (wire, tx side) — NIC out
-//
-// and wires them into an activity DAG according to either the blocking
-// receive→compute→send triplet of Section 3 (ProcB) or the pipelined
-// send/compute/receive overlap of Section 4 (ProcNB).
 package sim
 
 import (
@@ -27,6 +11,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/simnet"
 	"repro/internal/space"
+	"repro/internal/topo"
 )
 
 // Mode selects which of the paper's two execution schemes to simulate.
@@ -131,7 +116,16 @@ type Config struct {
 	Mode    Mode
 	Cap     Capability
 	Network Network
-	Trace   bool
+	// Interconnect describes the switch hierarchy between the nodes. The
+	// zero value is the flat single-switch machine (every pair one
+	// port-to-port transfer, the model all earlier experiments used). A
+	// hierarchical spec routes each cross-switch message over per-level
+	// uplink/downlink resources (simnet.Fabric), so uplink contention and
+	// per-hop latency emerge from the discrete-event engine. Requires
+	// Network == Switched: the SharedBus medium already is the degenerate
+	// one-link topology.
+	Interconnect topo.Spec
+	Trace        bool
 	// NodeSpeed optionally scales per-node CPU performance: rank r's
 	// CPU-resident work takes duration/NodeSpeed(r). nil means homogeneous
 	// (all 1.0). Models stragglers in the otherwise identical cluster.
@@ -202,6 +196,12 @@ func (c Config) Validate() error {
 	}
 	if c.Network != Switched && c.Network != SharedBus {
 		return fmt.Errorf("sim: unknown network model %d", int(c.Network))
+	}
+	if err := c.Interconnect.Validate(); err != nil {
+		return err
+	}
+	if !c.Interconnect.Flat() && c.Network != Switched {
+		return fmt.Errorf("sim: hierarchical interconnect %v requires the switched network model", c.Interconnect)
 	}
 	if c.NodeSpeed != nil {
 		for p := int64(0); p < c.Topo.Map.NumProcs(); p++ {

@@ -1,0 +1,43 @@
+// Package simnet is a deterministic discrete-event simulator for
+// activity graphs over serially-shared resources.
+//
+// It substitutes for the paper's physical cluster: processors' CPUs, DMA
+// engines and NIC links are Resources; the phases of every tile execution
+// (MPI buffer fills, computation, kernel copies, wire transmission) are
+// Activities with precedence edges. The engine computes the exact start and
+// finish time of every activity under FIFO resource scheduling, giving the
+// makespan of a schedule without running wall-clock experiments — and,
+// unlike wall-clock runs, perfectly reproducibly.
+//
+// The model: an Activity occupies exactly one Resource for a fixed duration
+// and may start only after all its predecessors have finished. A Resource
+// executes one activity at a time, picking among ready activities the one
+// that became ready first (ties broken by creation order).
+//
+// # Hierarchical fabrics
+//
+// Beyond per-node port resources, a Fabric models the switch hierarchy
+// between nodes (topo.Spec: edge/aggregation tiers of a fat tree, per-level
+// bandwidth and latency, a fixed number of parallel uplinks per switch).
+// Every uplink and downlink is an ordinary Resource, so link contention at
+// an oversubscribed tier falls out of the same FIFO scheduling that models
+// CPU and NIC contention — no special queueing code. Route computes the
+// up-then-down hop sequence of a message from the lowest common ancestor of
+// its endpoints (LCA routing), spreading flows across parallel uplinks by a
+// deterministic hash of the endpoint pair (ECMP without randomness, see
+// topo.Spec.UplinkIndex). A message between nodes under the same edge
+// switch takes zero fabric hops: the hierarchy is pay-as-you-go, and the
+// zero topo.Spec reproduces the flat single-switch machine exactly.
+// DESIGN.md §12 develops the model and its determinism argument.
+//
+// The engine is allocation-lean: activities and resources live in chunked
+// slabs owned by the Engine (pointers stay valid as the graph grows),
+// dependence edges accumulate in one flat list that Run compacts into a
+// CSR-style successor array via a two-pass degree count, and Reset lets a
+// caller reuse one Engine — and all of its backing memory — across many
+// simulations (one engine per sweep worker). The Fabric follows the same
+// discipline: its links are slab resources, sized once from the world size
+// and the spec, and Route appends into a caller-owned buffer so
+// steady-state routing allocates nothing — the per-rank allocation budget
+// stays flat from 100 to 10000 ranks (BenchmarkScaleAllocBudget locks it).
+package simnet

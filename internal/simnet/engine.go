@@ -1,25 +1,3 @@
-// Package simnet is a deterministic discrete-event simulator for
-// activity graphs over serially-shared resources.
-//
-// It substitutes for the paper's physical cluster: processors' CPUs, DMA
-// engines and NIC links are Resources; the phases of every tile execution
-// (MPI buffer fills, computation, kernel copies, wire transmission) are
-// Activities with precedence edges. The engine computes the exact start and
-// finish time of every activity under FIFO resource scheduling, giving the
-// makespan of a schedule without running wall-clock experiments — and,
-// unlike wall-clock runs, perfectly reproducibly.
-//
-// The model: an Activity occupies exactly one Resource for a fixed duration
-// and may start only after all its predecessors have finished. A Resource
-// executes one activity at a time, picking among ready activities the one
-// that became ready first (ties broken by creation order).
-//
-// The engine is allocation-lean: activities and resources live in chunked
-// slabs owned by the Engine (pointers stay valid as the graph grows),
-// dependence edges accumulate in one flat list that Run compacts into a
-// CSR-style successor array via a two-pass degree count, and Reset lets a
-// caller reuse one Engine — and all of its backing memory — across many
-// simulations (one engine per sweep worker).
 package simnet
 
 import (

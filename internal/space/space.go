@@ -1,10 +1,3 @@
-// Package space models rectangular iteration spaces J^n of perfectly nested
-// loops with constant integer bounds, as defined in Section 2 of the paper:
-//
-//	J^n = { j = (j_1, …, j_n) | l_i ≤ j_i ≤ u_i }
-//
-// Points are visited in lexicographic order, matching the sequential
-// execution order of the loop nest.
 package space
 
 import (

@@ -1,9 +1,3 @@
-// Package stencil defines the computation kernels used by the paper and a
-// sequential reference executor used to verify distributed runs.
-//
-// A kernel is a single assignment statement with uniform dependences,
-// Section 2.1: A(j) = E(A(j−d_1), …, A(j−d_m)). Reads that fall outside the
-// iteration space take a caller-supplied boundary value.
 package stencil
 
 import (

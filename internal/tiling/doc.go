@@ -1,0 +1,18 @@
+// Package tiling implements the supernode (tiling) transformation of
+// Section 2.3 of the paper.
+//
+// A tiling is defined by the n×n non-singular matrix H whose rows are
+// perpendicular to the families of hyperplanes forming the tiles; dually by
+// P = H⁻¹ whose columns are the tile side vectors. The transformation maps
+//
+//	r(j) = ( ⌊Hj⌋ , j − P⌊Hj⌋ )
+//
+// where ⌊Hj⌋ are the coordinates of the tile containing j and the second
+// component is the offset of j within that tile.
+//
+// Legality (Irigoin–Triolet / Ramanujam–Sadayappan): HD ≥ 0 keeps tiles
+// atomic and deadlock-free. The paper additionally assumes ⌊HD⌋ = 0 (every
+// dependence is shorter than the tile), which makes the tiled dependence
+// matrix D^S consist of 0/1 vectors only — each tile communicates only with
+// its nearest neighbor in each dimension.
+package tiling

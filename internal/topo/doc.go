@@ -1,0 +1,23 @@
+// Package topo describes hierarchical machine interconnects as plain
+// comparable values.
+//
+// A Spec is up to MaxLevels tiers of switches between the compute nodes and
+// an implicit non-blocking core: level 0 groups nodes under edge switches,
+// higher levels group switches under fatter ones. Each Level carries the
+// three numbers the completion-time model needs — radix (who shares a
+// switch), uplink bandwidth relative to a node link (how much the tree
+// thins), and per-hop latency — plus the number of parallel uplinks a
+// switch spreads its flows over.
+//
+// The zero Spec is the flat single-switch machine the reproduction started
+// with, so every existing call site keeps its old meaning. Spec is a fixed
+// layout of scalars on purpose: it is comparable, which lets it ride inside
+// the simulation cache key (internal/sim) verbatim, and it is pure data,
+// which keeps the routing arithmetic (CommonLevel, SwitchOf, UplinkIndex)
+// deterministic — the same (from, to) pair always takes the same path over
+// the same links, so simulations replay bit-identically.
+//
+// internal/simnet turns a Spec into discrete-event resources (the Fabric);
+// internal/mp uses group sizes as collective-schedule hints; DESIGN.md §12
+// documents the contention semantics.
+package topo
