@@ -5,7 +5,7 @@ GO ?= go
 
 BENCH ?= Fig9$$|Fig10$$|Fig11$$|Fig12$$|SimEngine$$|SimBuild$$|SweepParallel$$
 
-.PHONY: build test race bench bench-smoke fault-smoke serve-smoke vet lint docs-check check
+.PHONY: build test race bench bench-smoke fault-smoke serve-smoke chaos vet lint docs-check check
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,14 @@ fault-smoke:
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke$$' ./cmd/tileserve
 
+# Self-healing drill over real OS processes, under the race detector: a
+# supervised run has its victim rank SIGKILLed three times at distinct
+# wavefront phases and must still finish with a grid byte-identical to the
+# fault-free baseline, and a run with too small a restart budget must
+# converge to the typed budget-exhausted failure (DESIGN.md §13).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosSupervised' ./cmd/tilenode
+
 # Toolchain hygiene: go vet and a gofmt-clean tree (testdata included).
 vet:
 	$(GO) vet ./...
@@ -59,4 +67,4 @@ lint:
 docs-check:
 	$(GO) run ./cmd/docscheck .
 
-check: build test race fault-smoke serve-smoke bench-smoke vet lint docs-check
+check: build test race fault-smoke serve-smoke chaos bench-smoke vet lint docs-check

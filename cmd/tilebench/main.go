@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tilebench [-quick] [-heights n] fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|scale-sweep|all
+//	tilebench [-quick] [-heights n] fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|recovery-sweep|scale-sweep|all
 //
 // -quick shrinks the iteration spaces ~16x so every experiment finishes in
 // seconds; the full-size figures take a few minutes of simulation.
@@ -40,7 +40,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-exact] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-deadline] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|scale-sweep|trace|all\n")
+		fmt.Fprintf(os.Stderr, "usage: tilebench [-quick] [-exact] [-csv file] [-cpuprofile file] [-memprofile file] [-fault-seed n] [-fault-intensity x] [-deadline] [-o file] [-trace-mode m] [-trace-v n] verify|fig9|fig10|fig11|fig12|ex1|ex3|ablation-cap|ablation-map|ablation-net|ablation-straggler|fault-sweep|recovery-sweep|scale-sweep|trace|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -309,6 +309,57 @@ func run(id string) error {
 		}
 		fmt.Println()
 		return nil
+	case "recovery-sweep":
+		// Cross checkpoint interval with fault intensity on the Fig. 9
+		// space at its overlapped optimum: the Young/Daly curve an operator
+		// consults to pick -checkpoint-every for a supervised run.
+		base := shrink(experiments.Fig9())
+		base.Cache = sim.NewCache()
+		vOpt, _, err := base.OptimumRefined(sim.Overlapped)
+		if err != nil {
+			return err
+		}
+		max := *faultIntensity
+		if max <= 0 || max > 1 {
+			return fmt.Errorf("-fault-intensity %g out of range (0, 1]", max)
+		}
+		rs := experiments.RecoverySweep{
+			ID:          base.ID,
+			Grid:        base.Grid,
+			Machine:     base.Machine,
+			Cap:         base.Cap,
+			V:           vOpt,
+			Seed:        *faultSeed,
+			Intervals:   []int64{1, 2, 4, 8, 16},
+			Intensities: []float64{0, max / 4, max / 2, max},
+			Cache:       base.Cache,
+		}
+		rows, err := rs.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRecovery(rs, rows))
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RecoveryCSV(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("(csv written to %s)\n", *csvOut)
+		}
+		if err := experiments.CheckRecoveryTradeoff(rows); err != nil {
+			fmt.Println("recovery tradeoff check: VIOLATED")
+			return err
+		}
+		fmt.Println("recovery tradeoff check: Young/Daly shape holds")
+		fmt.Println()
+		return nil
 	case "scale-sweep":
 		s := experiments.DefaultScaleSweep()
 		if *quick {
@@ -347,7 +398,7 @@ func run(id string) error {
 	case "verify":
 		return runVerify()
 	case "all":
-		for _, sub := range []string{"verify", "ex1", "fig9", "fig10", "fig11", "fig12", "ablation-cap", "ablation-map", "ablation-net", "ablation-straggler", "fault-sweep"} {
+		for _, sub := range []string{"verify", "ex1", "fig9", "fig10", "fig11", "fig12", "ablation-cap", "ablation-map", "ablation-net", "ablation-straggler", "fault-sweep", "recovery-sweep"} {
 			if err := run(sub); err != nil {
 				return err
 			}

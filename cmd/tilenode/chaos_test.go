@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -205,5 +206,158 @@ func TestChild2DSpawn(t *testing.T) {
 		if !strings.Contains(string(out), "max |parallel - sequential| = 0") {
 			t.Errorf("%s: verification line missing:\n%s", mode, out)
 		}
+	}
+}
+
+// TestChaosSupervised is the self-healing drill the supervisor exists for:
+// a 2-rank supervised run has its victim rank SIGKILLed three times, each
+// at a later checkpoint frontier, and must still finish without operator
+// input — final grid byte-identical to a fault-free baseline — while the
+// recovery metrics report every incident.
+func TestChaosSupervised(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+	ckDir := filepath.Join(dir, "ck")
+	if err := os.Mkdir(ckDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	baseGrid := filepath.Join(dir, "base.bin")
+	healedGrid := filepath.Join(dir, "healed.bin")
+	snap := filepath.Join(dir, "metrics.json")
+	shape := []string{
+		"-shape", "2d", "-space2d", "40x4", "-s1", "2", "-ranks", "2",
+		"-mode", "overlapped", "-verify=false",
+	}
+
+	out, err := child(ctx, append(shape, "-spawn", "-grid-out", baseGrid)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, out)
+	}
+
+	out, err = child(ctx, append(shape,
+		"-supervise", "-checkpoint-dir", ckDir, "-checkpoint-every", "2",
+		"-tile-delay", "10ms", "-heartbeat", "50ms", "-deadline", "10s",
+		"-max-restarts", "3", "-restart-backoff", "50ms",
+		"-chaos-kills", "3", "-chaos-victim", "1",
+		"-grid-out", healedGrid, "-metrics-snapshot", snap,
+	)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("supervised run did not self-heal: %v\n%s", err, out)
+	}
+
+	base, err := os.ReadFile(baseGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed, err := os.ReadFile(healedGrid)
+	if err != nil {
+		t.Fatalf("healed grid missing (rank 0 of the final epoch writes it): %v", err)
+	}
+	if len(base) == 0 {
+		t.Fatal("baseline grid is empty")
+	}
+	if !bytes.Equal(base, healed) {
+		t.Fatalf("self-healed grid differs from fault-free baseline (%d vs %d bytes)", len(healed), len(base))
+	}
+
+	// The obs snapshot must account every incident with its latencies.
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Recovery *struct {
+			Incidents []struct {
+				Epoch       uint32 `json:"epoch"`
+				Victim      int    `json:"victim"`
+				DetectNs    int64  `json:"detect_ns"`
+				RestoreNs   int64  `json:"restore_ns"`
+				MTTRNs      int64  `json:"mttr_ns"`
+				WastedTiles int64  `json:"wasted_tiles"`
+			} `json:"incidents"`
+			RestartsPerRank []int64 `json:"restarts_per_rank"`
+			TotalRestarts   int64   `json:"total_restarts"`
+			WastedFraction  float64 `json:"wasted_fraction"`
+			Failure         string  `json:"failure"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("metrics snapshot: %v\n%s", err, raw)
+	}
+	rec := dump.Recovery
+	if rec == nil {
+		t.Fatalf("metrics snapshot has no recovery section:\n%s", raw)
+	}
+	if len(rec.Incidents) != 3 || rec.TotalRestarts != 3 {
+		t.Fatalf("want 3 incidents / 3 restarts, got %d / %d\n%s", len(rec.Incidents), rec.TotalRestarts, raw)
+	}
+	if rec.RestartsPerRank[1] != 3 || rec.RestartsPerRank[0] != 0 {
+		t.Errorf("restarts per rank %v, want all 3 charged to the victim", rec.RestartsPerRank)
+	}
+	if rec.Failure != "" {
+		t.Errorf("healed run recorded a terminal failure: %q", rec.Failure)
+	}
+	for i, inc := range rec.Incidents {
+		if inc.Victim != 1 {
+			t.Errorf("incident %d blamed rank %d, want 1", i, inc.Victim)
+		}
+		if inc.Epoch != uint32(i+1) {
+			t.Errorf("incident %d at epoch %d, want %d", i, inc.Epoch, i+1)
+		}
+		if inc.DetectNs <= 0 || inc.RestoreNs <= 0 || inc.MTTRNs < inc.RestoreNs {
+			t.Errorf("incident %d latencies implausible: %+v", i, inc)
+		}
+	}
+}
+
+// TestChaosSupervisedBudgetExhausted: with a restart budget below the kill
+// count, the supervised run must converge to a typed world-level failure
+// (reported on stderr and in the recovery metrics) instead of looping.
+func TestChaosSupervisedBudgetExhausted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+	ckDir := filepath.Join(dir, "ck")
+	if err := os.Mkdir(ckDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "metrics.json")
+
+	out, err := child(ctx,
+		"-shape", "2d", "-space2d", "40x4", "-s1", "2", "-ranks", "2",
+		"-mode", "overlapped", "-verify=false",
+		"-supervise", "-checkpoint-dir", ckDir, "-checkpoint-every", "2",
+		"-tile-delay", "10ms", "-heartbeat", "50ms", "-deadline", "10s",
+		"-max-restarts", "1", "-restart-backoff", "20ms",
+		"-chaos-kills", "2", "-chaos-victim", "1",
+		"-metrics-snapshot", snap,
+	).CombinedOutput()
+	if err == nil {
+		t.Fatalf("run exceeded its restart budget but exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "restart budget") {
+		t.Fatalf("failure does not name the exhausted restart budget:\n%s", out)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Recovery *struct {
+			Failure string `json:"failure"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Recovery == nil || !strings.Contains(dump.Recovery.Failure, "restart budget") {
+		t.Errorf("recovery metrics do not record the typed failure:\n%s", raw)
 	}
 }

@@ -438,6 +438,9 @@ func (o *observer) finish() error {
 }
 
 func run() error {
+	if *superviseFlag {
+		return superviseMain()
+	}
 	var n int
 	var rankFn func(c mp.Comm) error
 	switch *shapeFlag {
@@ -480,6 +483,7 @@ func baseTCPOptions(cancel <-chan struct{}) mp.TCPOptions {
 		Cancel:    cancel,
 		Deadline:  *deadlineFlag,
 		Heartbeat: *heartbeatFlag,
+		Epoch:     uint32(*epochFlag),
 	}
 }
 

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// AnalyzerBoundedRetry enforces the recovery model (DESIGN.md §13) where
+// restart loops live: in the deployable binaries under cmd/ and in the
+// supervisor itself. A loop that keeps launching, dialing or retrying with
+// no attempt budget and no deadline turns a persistent failure into an
+// infinite restart storm — exactly what the supervisor's typed
+// *BudgetError/*DeadlineError failures exist to rule out. Any retrying
+// loop must make its bound visible: a counted loop header, or a reference
+// to a budget/attempt counter, deadline, timeout, or done channel inside
+// the loop.
+//
+// Counted loops (both Init and Post present) pass outright — the loop
+// variable is the budget. Everything else that calls a retry-shaped
+// function (start/launch/retry/restart/spawn/dial/connect, any casing)
+// must reference a bound-shaped name (deadline/budget/attempt/timeout/
+// done/remaining/expire) in its condition or body.
+var AnalyzerBoundedRetry = &Analyzer{
+	Name: "boundedretry",
+	Doc:  "restart/retry loops in cmd/ and internal/supervise carry an attempt budget or deadline",
+	Run:  runBoundedRetry,
+}
+
+var (
+	retryVerbRE = regexp.MustCompile(`(?i)(start|launch|retry|restart|spawn|dial|connect)`)
+	// Deliberately no "restart"/"retry" here: a call named retryX must not
+	// excuse its own loop.
+	boundHintRE = regexp.MustCompile(`(?i)(deadline|budget|attempt|timeout|done|remaining|expire)`)
+)
+
+func runBoundedRetry(p *Package) []Diagnostic {
+	if !inCmdScope(p.Path) && !strings.HasSuffix(p.Path, "internal/supervise") {
+		return nil
+	}
+	var out []Diagnostic
+	inspect(p, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if loop.Init != nil && loop.Post != nil {
+			return true
+		}
+		verb := firstRetryCall(loop.Cond, loop.Body)
+		if verb == "" || loopReferencesBound(loop) {
+			return true
+		}
+		out = append(out, diag(p, "boundedretry", loop.Pos(),
+			"unbounded retry loop (calls %s): carry an attempt budget or deadline so a persistent failure converges to a typed error (recovery model)", verb))
+		return true
+	})
+	return out
+}
+
+// firstRetryCall returns the name of the first retry-shaped call in the
+// loop's condition or body, or "".
+func firstRetryCall(nodes ...ast.Node) string {
+	name := ""
+	check := func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if retryVerbRE.MatchString(id.Name) {
+			name = id.Name
+		}
+		return true
+	}
+	for _, node := range nodes {
+		if node == nil || name != "" {
+			continue
+		}
+		ast.Inspect(node, check)
+	}
+	return name
+}
+
+// loopReferencesBound reports whether the loop's condition or body mentions
+// a bound-shaped identifier (deadline, budget, attempt counter, timeout,
+// done channel, ...) — the visible evidence that the retrying is bounded.
+func loopReferencesBound(loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && boundHintRE.MatchString(id.Name) {
+			found = true
+		}
+		return true
+	}
+	if loop.Cond != nil {
+		ast.Inspect(loop.Cond, check)
+	}
+	ast.Inspect(loop.Body, check)
+	return found
+}

@@ -34,6 +34,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerDeterminism,
 		AnalyzerReservedTag,
 		AnalyzerBlockingDeadline,
+		AnalyzerBoundedRetry,
 	}
 }
 

@@ -29,6 +29,8 @@ var fixtures = []struct {
 	{AnalyzerBlockingDeadline, "blockingdeadline/good", "repro/cmd/fixture", false},
 	{AnalyzerBlockingDeadline, "blockingdeadline/serve-bad", "repro/cmd/tileserve", true},
 	{AnalyzerBlockingDeadline, "blockingdeadline/serve-good", "repro/cmd/tileserve", false},
+	{AnalyzerBoundedRetry, "boundedretry/bad", "repro/cmd/fixture", true},
+	{AnalyzerBoundedRetry, "boundedretry/good", "repro/cmd/fixture", false},
 }
 
 // runFixture type-checks one testdata package under its spoofed path and

@@ -1,0 +1,23 @@
+// Package bad retries without a budget or deadline the way a cmd/ binary
+// must not. Type-checked under a spoofed cmd/ path.
+package bad
+
+func dialPeer() error { return nil }
+
+func launchRank(int) error { return nil }
+
+// reconnectForever loops on a dial with nothing to stop it.
+func reconnectForever() {
+	for {
+		if dialPeer() == nil {
+			return
+		}
+	}
+}
+
+// superviseForever restarts a rank until it succeeds, however long that
+// takes and however often it fails.
+func superviseForever(rank int) {
+	for launchRank(rank) != nil {
+	}
+}

@@ -1,0 +1,50 @@
+// Package good shows the bounded shapes the boundedretry analyzer
+// accepts. Type-checked under a spoofed cmd/ path.
+package good
+
+import (
+	"fmt"
+	"time"
+)
+
+func dialPeer() error { return nil }
+
+func launchRank(int) error { return nil }
+
+// reconnectBudget is bounded by a counted loop header: the loop variable
+// is the attempt budget.
+func reconnectBudget(maxAttempts int) error {
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err = dialPeer(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// reconnectDeadline is bounded by an explicit deadline check.
+func reconnectDeadline(deadline time.Time) error {
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dial: deadline exceeded")
+		}
+		if dialPeer() == nil {
+			return nil
+		}
+	}
+}
+
+// superviseUntilStopped is bounded by its done channel.
+func superviseUntilStopped(done <-chan struct{}, rank int) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if launchRank(rank) == nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package mp
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dialRank0 dials addrs[0] with retries until the listener is up.
+func dialRank0(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not reach rank 0 listener: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// writeHello performs the dialer half of the connect handshake by hand and
+// returns the epoch the acceptor answered with.
+func writeHello(t *testing.T, conn net.Conn, rank int, epoch uint32) uint32 {
+	t.Helper()
+	var hello [helloLen]byte
+	binary.BigEndian.PutUint32(hello[0:4], uint32(int32(rank)))
+	binary.BigEndian.PutUint32(hello[4:8], epoch)
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatalf("hello write: %v", err)
+	}
+	var ack [ackLen]byte
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		t.Fatalf("ack read: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return binary.BigEndian.Uint32(ack[:])
+}
+
+// writeRawFrame writes one wire frame (src|tag|len|payload) by hand.
+func writeRawFrame(t *testing.T, conn net.Conn, src, tag int, payload []byte) {
+	t.Helper()
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(int32(src)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(tag)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(int32(len(payload))))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatalf("frame header write: %v", err)
+	}
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatalf("frame payload write: %v", err)
+		}
+	}
+}
+
+// TestTCPStaleEpochDialerRefused: a dialer from an older world generation
+// (e.g. a process that outlived its crash and found the rebuilt listener)
+// must be refused without failing the new world's mesh-up: the acceptor
+// answers with its own epoch, closes the connection, emits EvStaleEpoch,
+// and keeps waiting for the real peer.
+func TestTCPStaleEpochDialerRefused(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var evMu sync.Mutex
+	var stale []TCPEvent
+	opts := func() *TCPOptions {
+		return &TCPOptions{Epoch: 3, OnEvent: func(ev TCPEvent) {
+			if ev.Kind == EvStaleEpoch {
+				evMu.Lock()
+				stale = append(stale, ev)
+				evMu.Unlock()
+			}
+		}}
+	}
+	done := make(chan struct{})
+	var c0 Comm
+	var err0 error
+	go func() {
+		c0, err0 = ConnectTCP(0, 2, addrs, opts())
+		close(done)
+	}()
+
+	// The ghost: poses as rank 1 but carries the pre-crash epoch 2.
+	ghost := dialRank0(t, addrs[0])
+	if got := writeHello(t, ghost, 1, 2); got != 3 {
+		t.Fatalf("ack epoch = %d, want the acceptor's epoch 3", got)
+	}
+	// The acceptor must hang up on the ghost rather than serve it.
+	ghost.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := ghost.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stale-epoch connection left open")
+	}
+	ghost.Close()
+
+	// The real rank 1, same epoch: mesh-up must still succeed.
+	c1, err := ConnectTCP(1, 2, addrs, opts())
+	if err != nil {
+		t.Fatalf("real rank 1 refused after ghost: %v", err)
+	}
+	<-done
+	if err0 != nil {
+		t.Fatalf("rank 0 mesh-up failed: %v", err0)
+	}
+	if err := c0.Send(1, 1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Recv(0, 1, make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+	evMu.Lock()
+	n := len(stale)
+	var firstErr error
+	if n > 0 {
+		firstErr = stale[0].Err
+	}
+	evMu.Unlock()
+	if n == 0 {
+		t.Fatal("no EvStaleEpoch emitted for the ghost dialer")
+	}
+	if !errors.Is(firstErr, ErrStaleEpoch) {
+		t.Fatalf("EvStaleEpoch.Err = %v, want ErrStaleEpoch", firstErr)
+	}
+	var ee *EpochError
+	if !errors.As(firstErr, &ee) || ee.Local != 3 || ee.Remote != 2 {
+		t.Fatalf("EvStaleEpoch.Err = %#v, want *EpochError{Local:3, Remote:2}", firstErr)
+	}
+	c1.Close()
+	c0.Close()
+}
+
+// TestTCPStaleEpochDialFailsTyped: the dialer side of an epoch mismatch
+// must fail fast with an error matching ErrStaleEpoch — a supervisor can
+// then tell "I am the ghost" apart from ordinary connect failures.
+func TestTCPStaleEpochDialFailsTyped(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	done := make(chan struct{})
+	var c0 Comm
+	var err0 error
+	go func() {
+		c0, err0 = ConnectTCP(0, 2, addrs, &TCPOptions{Epoch: 5})
+		close(done)
+	}()
+
+	// Rank 1 from the previous generation dials the rebuilt rank 0.
+	_, err := ConnectTCP(1, 2, addrs, &TCPOptions{Epoch: 4, DialTimeout: 5 * time.Second})
+	if err == nil {
+		t.Fatal("stale dialer connected across epochs")
+	}
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale dial error = %v, want ErrStaleEpoch", err)
+	}
+
+	// Complete rank 0's mesh by hand so it can shut down cleanly.
+	conn := dialRank0(t, addrs[0])
+	if got := writeHello(t, conn, 1, 5); got != 5 {
+		t.Fatalf("ack epoch = %d, want 5", got)
+	}
+	<-done
+	if err0 != nil {
+		t.Fatalf("rank 0 mesh-up failed: %v", err0)
+	}
+	c0.Close()
+	conn.Close()
+}
+
+// TestTCPStaleControlFrameDropped: defense in depth behind the handshake
+// check — a reserved-tag frame whose epoch prefix disagrees with the local
+// epoch is dropped (with EvStaleEpoch) instead of being acted on. A stale
+// ctlAbort must not poison the world.
+func TestTCPStaleControlFrameDropped(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var evMu sync.Mutex
+	var kinds []TCPEventKind
+	done := make(chan struct{})
+	var c0 Comm
+	var err0 error
+	go func() {
+		c0, err0 = ConnectTCP(0, 2, addrs, &TCPOptions{OnEvent: func(ev TCPEvent) {
+			evMu.Lock()
+			kinds = append(kinds, ev.Kind)
+			evMu.Unlock()
+		}})
+		close(done)
+	}()
+
+	conn := dialRank0(t, addrs[0])
+	writeHello(t, conn, 1, 0) // correct epoch: the connection itself is live
+	<-done
+	if err0 != nil {
+		t.Fatalf("rank 0 mesh-up failed: %v", err0)
+	}
+
+	// A stale abort: correct frame format, wrong epoch prefix.
+	abortPayload := encodeAbort(&AbortError{Rank: 1, Cause: errors.New("ghost abort")})
+	stale := make([]byte, 4+len(abortPayload))
+	binary.BigEndian.PutUint32(stale[0:4], 99)
+	copy(stale[4:], abortPayload)
+	writeRawFrame(t, conn, 1, ctlAbort, stale)
+
+	// A current-epoch goodbye right behind it proves ordering: by the time
+	// the goodbye is processed the stale abort has been seen and dropped.
+	good := make([]byte, 4)
+	binary.BigEndian.PutUint32(good[0:4], 0)
+	writeRawFrame(t, conn, 1, ctlGoodbye, good)
+
+	c := c0.(*tcpComm)
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.departed[1].Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("goodbye never processed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if e := c.ab.cause(); e != nil {
+		t.Fatalf("stale-epoch abort poisoned the world: %v", e)
+	}
+	evMu.Lock()
+	sawStale := false
+	for _, k := range kinds {
+		if k == EvStaleEpoch {
+			sawStale = true
+		}
+	}
+	evMu.Unlock()
+	if !sawStale {
+		t.Fatal("dropped stale control frame emitted no EvStaleEpoch")
+	}
+	conn.Close()
+	c0.Close()
+}
+
+// TestTCPGoodbyeRacesAbort is the regression test for a clean Close racing
+// an in-flight Abort: rank 1 latches an abort locally (as if the
+// propagation toward rank 0 were still in the network) and then closes.
+// Before the fix, Close skipped the goodbye on an aborted world, so rank 0
+// saw a bare EOF with no departure flag and misreported the clean close as
+// a peer-lost crash — inflating the obs peers_lost counter and, with
+// AbortOnDisconnect, blaming rank 1 for a crash that never happened.
+func TestTCPGoodbyeRacesAbort(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var evMu sync.Mutex
+	var lost []TCPEvent
+	comms := make([]Comm, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for rank := 0; rank < 2; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			opts := &TCPOptions{AbortOnDisconnect: true}
+			if rank == 0 {
+				opts.OnEvent = func(ev TCPEvent) {
+					if ev.Kind == EvPeerLost {
+						evMu.Lock()
+						lost = append(lost, ev)
+						evMu.Unlock()
+					}
+				}
+			}
+			comms[rank], errs[rank] = ConnectTCP(rank, 2, addrs, opts)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+
+	// Latch the abort on rank 1 only (forward=false models the poison
+	// still being in flight toward rank 0), then close rank 1 cleanly.
+	c1 := comms[1].(*tcpComm)
+	c1.doAbort(&AbortError{Rank: 1, Cause: errors.New("simulated in-flight abort")}, false)
+	if err := comms[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank 0 must register the departure, not a crash.
+	c0 := comms[0].(*tcpComm)
+	deadline := time.Now().Add(5 * time.Second)
+	for !c0.departed[1].Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("rank 0 never saw the goodbye")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let the EOF land after the goodbye
+	evMu.Lock()
+	nLost := len(lost)
+	evMu.Unlock()
+	if nLost != 0 {
+		t.Fatalf("clean close on an aborted world reported EvPeerLost %d time(s): %v", nLost, lost[0].Err)
+	}
+	if e := c0.ab.cause(); e != nil {
+		t.Fatalf("rank 0 aborted by the clean close: %v", e)
+	}
+	comms[0].Close()
+}

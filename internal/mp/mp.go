@@ -28,6 +28,11 @@ var ErrDeadline = errors.New("mp: deadline exceeded")
 // returned from every operation after a communicator abort.
 var ErrAborted = errors.New("mp: world aborted")
 
+// ErrStaleEpoch is the sentinel matched (via errors.Is) by the *EpochError
+// a connect handshake returns when the two endpoints belong to different
+// world generations (TCPOptions.Epoch).
+var ErrStaleEpoch = errors.New("mp: stale world epoch")
+
 // AbortError reports that the world was aborted: Rank is the origin rank
 // that called Abort (or that a failure detector declared dead), Cause the
 // reason it gave. errors.Is(err, ErrAborted) reports true for it.

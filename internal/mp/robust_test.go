@@ -434,8 +434,9 @@ func TestTCPHeartbeatDetectsMutePeer(t *testing.T) {
 			dialErr <- err
 			return
 		}
-		var hello [4]byte
-		binary.BigEndian.PutUint32(hello[:], uint32(int32(1)))
+		var hello [helloLen]byte
+		binary.BigEndian.PutUint32(hello[0:4], uint32(int32(1)))
+		binary.BigEndian.PutUint32(hello[4:8], 0) // epoch 0 matches the default
 		if _, err := conn.Write(hello[:]); err != nil {
 			dialErr <- err
 			return

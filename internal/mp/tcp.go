@@ -81,6 +81,14 @@ type TCPOptions struct {
 	// not block; obs.InstrumentComm uses it to feed the runtime TCP
 	// counters.
 	OnEvent func(TCPEvent)
+	// Epoch is the world generation this endpoint belongs to. A supervisor
+	// rebuilding a crashed world bumps the epoch on every relaunch; the
+	// epoch is stamped into the connect handshake (a dialer from another
+	// generation is refused without failing the mesh-up) and into every
+	// reserved-tag control frame (a stale pre-crash abort, heartbeat or
+	// goodbye is dropped instead of poisoning the rebuilt world). Zero is
+	// a valid epoch: unsupervised runs never have more than one.
+	Epoch uint32
 }
 
 // TCPEventKind classifies a TCPEvent.
@@ -106,6 +114,10 @@ const (
 	EvPeerLost
 	// EvAbort: the world aborted; Peer is the origin rank, Err the cause.
 	EvAbort
+	// EvStaleEpoch: a handshake or control frame stamped with another
+	// world generation was rejected (Peer is the claimed rank, or -1 when
+	// unknown; Err names the epochs).
+	EvStaleEpoch
 )
 
 func (k TCPEventKind) String() string {
@@ -126,6 +138,8 @@ func (k TCPEventKind) String() string {
 		return "peer-lost"
 	case EvAbort:
 		return "abort"
+	case EvStaleEpoch:
+		return "stale-epoch"
 	default:
 		return fmt.Sprintf("TCPEventKind(%d)", int(k))
 	}
@@ -149,7 +163,26 @@ const (
 	defaultDialBackoff   = 10 * time.Millisecond
 	maxDialBackoff       = 500 * time.Millisecond
 	defaultHeartbeatMiss = 3
+
+	// helloLen is the handshake a dialer sends: rank (int32) | epoch
+	// (uint32). The acceptor answers with ackLen bytes: its own epoch.
+	helloLen = 8
+	ackLen   = 4
 )
+
+// EpochError reports a connect handshake between two world generations: a
+// process from a pre-crash epoch reached a rebuilt world (or vice versa).
+// errors.Is(err, ErrStaleEpoch) reports true for it.
+type EpochError struct {
+	Local, Remote uint32
+}
+
+func (e *EpochError) Error() string {
+	return fmt.Sprintf("mp: epoch mismatch (local %d, remote %d)", e.Local, e.Remote)
+}
+
+// Is makes errors.Is(err, ErrStaleEpoch) match any EpochError.
+func (e *EpochError) Is(target error) bool { return target == ErrStaleEpoch }
 
 // tuneConn applies socket options to a mesh connection: TCP_NODELAY
 // explicitly on (the transport writes whole frames and latency matters;
@@ -207,6 +240,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 			c.hbMiss = opts.HeartbeatMiss
 		}
 		c.abortOnDisconnect = opts.AbortOnDisconnect || opts.Heartbeat > 0
+		c.epoch = opts.Epoch
 	}
 	c.barCond = sync.NewCond(&c.barMu)
 
@@ -250,7 +284,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := rank + 1; i < size; i++ {
+		for accepted := 0; accepted < size-rank-1; {
 			conn, err := ln.Accept()
 			if err != nil {
 				select {
@@ -264,7 +298,7 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 			// The handshake must arrive within the dial budget; a
 			// connected-but-mute peer must not wedge the mesh forever.
 			conn.SetReadDeadline(time.Now().Add(timeout))
-			var hello [4]byte
+			var hello [helloLen]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
 				conn.Close()
 				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: -1, Err: err})
@@ -272,18 +306,42 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
-			peer := int(int32(binary.BigEndian.Uint32(hello[:])))
+			peer := int(int32(binary.BigEndian.Uint32(hello[0:4])))
+			peerEpoch := binary.BigEndian.Uint32(hello[4:8])
 			if err := checkRank(peer, size, "peer"); err != nil {
 				conn.Close()
 				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: peer, Err: err})
 				fail(err)
 				return
 			}
+			// Answer with our own epoch before judging the peer's, so a
+			// stale dialer learns why it was refused instead of seeing EOF.
+			var ack [ackLen]byte
+			binary.BigEndian.PutUint32(ack[:], c.epoch)
+			conn.SetWriteDeadline(time.Now().Add(timeout))
+			if _, err := conn.Write(ack[:]); err != nil {
+				conn.Close()
+				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: peer, Err: err})
+				fail(fmt.Errorf("mp: rank %d handshake ack write: %w", rank, err))
+				return
+			}
+			conn.SetWriteDeadline(time.Time{})
+			if peerEpoch != c.epoch {
+				// A dialer from another world generation — typically a
+				// process that outlived its crash and found our rebuilt
+				// listener. Refuse it without failing the mesh-up: the
+				// peer we are actually waiting for is still to come.
+				conn.Close()
+				c.event(TCPEvent{Kind: EvStaleEpoch, Peer: peer,
+					Err: &EpochError{Local: c.epoch, Remote: peerEpoch}})
+				continue
+			}
 			if err := c.setConn(peer, conn); err != nil {
 				fail(err)
 				return
 			}
 			c.event(TCPEvent{Kind: EvAcceptOK, Peer: peer})
+			accepted++
 		}
 	}()
 	for i := 0; i < rank; i++ {
@@ -325,8 +383,9 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 			}
 			tuneConn(conn)
 			conn.SetWriteDeadline(time.Now().Add(timeout))
-			var hello [4]byte
-			binary.BigEndian.PutUint32(hello[:], uint32(int32(rank)))
+			var hello [helloLen]byte
+			binary.BigEndian.PutUint32(hello[0:4], uint32(int32(rank)))
+			binary.BigEndian.PutUint32(hello[4:8], c.epoch)
 			if _, err := conn.Write(hello[:]); err != nil {
 				conn.Close()
 				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: peer, Err: err})
@@ -334,6 +393,22 @@ func ConnectTCP(rank, size int, addrs []string, opts *TCPOptions) (Comm, error) 
 				return
 			}
 			conn.SetWriteDeadline(time.Time{})
+			conn.SetReadDeadline(time.Now().Add(timeout))
+			var ack [ackLen]byte
+			if _, err := io.ReadFull(conn, ack[:]); err != nil {
+				conn.Close()
+				c.event(TCPEvent{Kind: EvHandshakeErr, Peer: peer, Err: err})
+				fail(fmt.Errorf("mp: rank %d handshake ack read: %w", rank, err))
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			if remote := binary.BigEndian.Uint32(ack[:]); remote != c.epoch {
+				err := &EpochError{Local: c.epoch, Remote: remote}
+				conn.Close()
+				c.event(TCPEvent{Kind: EvStaleEpoch, Peer: peer, Err: err})
+				fail(fmt.Errorf("mp: rank %d dial rank %d: %w", rank, peer, err))
+				return
+			}
 			if err := c.setConn(peer, conn); err != nil {
 				fail(err)
 				return
@@ -376,6 +451,7 @@ type peerConn struct {
 
 type tcpComm struct {
 	rank, size int
+	epoch      uint32
 	listener   net.Listener
 	conns      []*peerConn
 	box        *mailbox
@@ -449,7 +525,17 @@ func (c *tcpComm) writeFrame(dst, tag int, data []byte) error {
 
 // writeFrameConn writes one frame on an already-resolved connection; Close
 // uses it directly for the goodbye frames after marking the comm closed.
+// Reserved-tag (control) frames carry a 4-byte epoch prefix in front of
+// their payload so a peer from another world generation can reject them:
+// the handshake already fences whole connections, the prefix fences any
+// frame that was in flight when the worlds changed over.
 func (c *tcpComm) writeFrameConn(pc *peerConn, dst, tag int, data []byte) error {
+	if tag < 0 {
+		stamped := make([]byte, 4+len(data))
+		binary.BigEndian.PutUint32(stamped[0:4], c.epoch)
+		copy(stamped[4:], data)
+		data = stamped
+	}
 	var hdr [12]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(int32(c.rank)))
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(tag)))
@@ -526,7 +612,21 @@ func (c *tcpComm) readLoop(peer int, pc *peerConn) {
 		}
 		c.lastSeen[peer].Store(time.Now().UnixNano())
 		if tag < 0 {
-			c.handleControl(src, tag, data)
+			// Control frames carry an epoch prefix (see writeFrameConn).
+			// A mismatch means the frame was written by an endpoint of a
+			// different world generation: drop it rather than letting a
+			// pre-crash abort or goodbye poison the rebuilt world.
+			if len(data) < 4 {
+				c.event(TCPEvent{Kind: EvStaleEpoch, Peer: peer,
+					Err: fmt.Errorf("mp: control frame tag %d missing epoch prefix", tag)})
+				continue
+			}
+			if got := binary.BigEndian.Uint32(data[0:4]); got != c.epoch {
+				c.event(TCPEvent{Kind: EvStaleEpoch, Peer: peer,
+					Err: &EpochError{Local: c.epoch, Remote: got}})
+				continue
+			}
+			c.handleControl(src, tag, data[4:])
 			continue
 		}
 		_ = c.box.deliver(&envelope{src: src, tag: tag, data: data})
@@ -772,21 +872,21 @@ func (c *tcpComm) Close() error {
 		// Stop probing before the connections go away.
 		c.hbStopOnce.Do(func() { close(c.hbStop) })
 		// Polite departure: tell live peers this endpoint is leaving so
-		// the connection teardown below is not mistaken for a crash. On
-		// an aborted world the peers already know; skip the formality.
-		if c.ab.cause() == nil {
-			c.mu.Lock()
-			conns := append([]*peerConn(nil), c.conns...)
-			c.mu.Unlock()
-			for p, pc := range conns {
-				if pc != nil && p != c.rank {
-					_ = c.writeFrameConn(pc, p, ctlGoodbye, nil)
-				}
+		// the connection teardown below is not mistaken for a crash.
+		// Sent even when the world is aborted: abort propagation may
+		// still be in flight, and a peer that has not latched it yet
+		// would otherwise see a bare EOF and misreport this clean close
+		// as a peer-lost crash.
+		c.mu.Lock()
+		conns := append([]*peerConn(nil), c.conns...)
+		c.mu.Unlock()
+		for p, pc := range conns {
+			if pc != nil && p != c.rank {
+				_ = c.writeFrameConn(pc, p, ctlGoodbye, nil)
 			}
 		}
 		c.mu.Lock()
 		c.closed = true
-		conns := append([]*peerConn(nil), c.conns...)
 		c.mu.Unlock()
 		if c.listener != nil {
 			c.listener.Close()

@@ -209,8 +209,9 @@ func TestTCPBadHandshakeNoLeak(t *testing.T) {
 	if err != nil {
 		t.Fatalf("could not reach rank 0 listener: %v", err)
 	}
-	var hello [4]byte
-	binary.BigEndian.PutUint32(hello[:], uint32(int32(7))) // size is 2
+	var hello [helloLen]byte
+	binary.BigEndian.PutUint32(hello[0:4], uint32(int32(7))) // size is 2
+	binary.BigEndian.PutUint32(hello[4:8], 0)                // epoch 0 matches the default
 	if _, err := conn.Write(hello[:]); err != nil {
 		t.Fatal(err)
 	}

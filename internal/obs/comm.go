@@ -57,6 +57,7 @@ type CommMetrics struct {
 	tcpHeartbeats   atomic.Int64
 	tcpPeersLost    atomic.Int64
 	tcpAborts       atomic.Int64
+	tcpStaleEpochs  atomic.Int64
 
 	checkpoints     atomic.Int64
 	checkpointBytes atomic.Int64
@@ -91,6 +92,8 @@ func (m *CommMetrics) TCPEvent(ev mp.TCPEvent) {
 		m.tcpPeersLost.Add(1)
 	case mp.EvAbort:
 		m.tcpAborts.Add(1)
+	case mp.EvStaleEpoch:
+		m.tcpStaleEpochs.Add(1)
 	}
 }
 
@@ -135,6 +138,7 @@ type TCPCounts struct {
 	Heartbeats    int64 `json:"heartbeats,omitempty"`
 	PeersLost     int64 `json:"peers_lost,omitempty"`
 	Aborts        int64 `json:"aborts,omitempty"`
+	StaleEpochs   int64 `json:"stale_epochs,omitempty"`
 }
 
 // CommSnapshot is a plain-value copy of a CommMetrics, shaped for JSON.
@@ -196,6 +200,7 @@ func (m *CommMetrics) Snapshot() CommSnapshot {
 		Heartbeats:    m.tcpHeartbeats.Load(),
 		PeersLost:     m.tcpPeersLost.Load(),
 		Aborts:        m.tcpAborts.Load(),
+		StaleEpochs:   m.tcpStaleEpochs.Load(),
 	}
 	s.Checkpoints = m.checkpoints.Load()
 	s.CheckpointBytes = m.checkpointBytes.Load()

@@ -1,0 +1,121 @@
+package obs
+
+import "sync"
+
+// Recovery metrics: what a supervisor (internal/supervise) observed while
+// keeping a world alive across rank crashes. One incident is recorded per
+// failure+recovery cycle; the snapshot adds the derived aggregates the
+// OBSERVABILITY.md recovery section documents (MTTR, wasted-work fraction,
+// restart counts per rank).
+
+// RecoveryIncident is one failure+recovery cycle.
+type RecoveryIncident struct {
+	// Epoch is the world generation that failed.
+	Epoch uint32 `json:"epoch"`
+	// Victim is the rank the supervisor blamed for the failure.
+	Victim int `json:"victim"`
+	// Cause is the victim's exit error, as text.
+	Cause string `json:"cause,omitempty"`
+	// DetectNs: first process exit → whole world confirmed down.
+	DetectNs int64 `json:"detect_ns"`
+	// BackoffNs: the deterministic restart delay charged to this incident.
+	BackoffNs int64 `json:"backoff_ns"`
+	// RestoreNs: world down → next epoch launched (includes BackoffNs).
+	RestoreNs int64 `json:"restore_ns"`
+	// MTTRNs: first process exit → next epoch launched.
+	MTTRNs int64 `json:"mttr_ns"`
+	// WastedTiles is the provable recomputation the incident causes: the
+	// sum over ranks of checkpointed progress beyond the boundary the
+	// rebuilt world restarts from.
+	WastedTiles int64 `json:"wasted_tiles"`
+}
+
+// RecoveryMetrics collects a supervisor's recovery observations. Safe for
+// concurrent use.
+type RecoveryMetrics struct {
+	mu          sync.Mutex
+	size        int
+	usefulTiles int64
+	incidents   []RecoveryIncident
+	restarts    []int64
+	failure     string
+}
+
+// NewRecoveryMetrics returns a collector for a world of the given size.
+// usefulTiles is the tile-execution count of a fault-free run (ranks ×
+// tiles per rank); it anchors the wasted-work fraction. Zero disables the
+// fraction.
+func NewRecoveryMetrics(size int, usefulTiles int64) *RecoveryMetrics {
+	return &RecoveryMetrics{size: size, usefulTiles: usefulTiles, restarts: make([]int64, size)}
+}
+
+// RecordIncident appends one failure+recovery cycle and charges the
+// victim's restart counter.
+func (m *RecoveryMetrics) RecordIncident(inc RecoveryIncident) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.incidents = append(m.incidents, inc)
+	if inc.Victim >= 0 && inc.Victim < len(m.restarts) {
+		m.restarts[inc.Victim]++
+	}
+}
+
+// RecordFailure marks the supervised run as terminally failed (restart
+// budget exhausted or deadline passed) with the typed error's text.
+func (m *RecoveryMetrics) RecordFailure(cause string) {
+	m.mu.Lock()
+	m.failure = cause
+	m.mu.Unlock()
+}
+
+// RecoverySnapshot is the JSON shape of the supervisor's recovery section.
+type RecoverySnapshot struct {
+	Size            int                `json:"size"`
+	Incidents       []RecoveryIncident `json:"incidents,omitempty"`
+	RestartsPerRank []int64            `json:"restarts_per_rank,omitempty"`
+	TotalRestarts   int64              `json:"total_restarts"`
+	UsefulTiles     int64              `json:"useful_tiles,omitempty"`
+	WastedTiles     int64              `json:"wasted_tiles"`
+	// WastedFraction = wasted / (useful + wasted): the share of all tile
+	// executions that were recomputation forced by crashes.
+	WastedFraction float64 `json:"wasted_fraction"`
+	MeanDetectNs   int64   `json:"mean_detect_ns,omitempty"`
+	MeanRestoreNs  int64   `json:"mean_restore_ns,omitempty"`
+	MeanMTTRNs     int64   `json:"mean_mttr_ns,omitempty"`
+	// Failure is the typed world-level failure, empty while recoverable.
+	Failure string `json:"failure,omitempty"`
+}
+
+// Snapshot returns the current aggregates.
+func (m *RecoveryMetrics) Snapshot() RecoverySnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := RecoverySnapshot{
+		Size:        m.size,
+		Incidents:   append([]RecoveryIncident(nil), m.incidents...),
+		UsefulTiles: m.usefulTiles,
+		Failure:     m.failure,
+	}
+	if len(m.restarts) > 0 {
+		s.RestartsPerRank = append([]int64(nil), m.restarts...)
+		for _, n := range m.restarts {
+			s.TotalRestarts += n
+		}
+	}
+	var detect, restore, mttr int64
+	for _, inc := range m.incidents {
+		s.WastedTiles += inc.WastedTiles
+		detect += inc.DetectNs
+		restore += inc.RestoreNs
+		mttr += inc.MTTRNs
+	}
+	if n := int64(len(m.incidents)); n > 0 {
+		s.MeanDetectNs = detect / n
+		s.MeanRestoreNs = restore / n
+		s.MeanMTTRNs = mttr / n
+	}
+	if total := m.usefulTiles + s.WastedTiles; total > 0 {
+		s.WastedFraction = float64(s.WastedTiles) / float64(total)
+	}
+	return s
+}

@@ -20,9 +20,10 @@ import (
 // one ServiceMetrics (for a planning service) behind a single snapshot,
 // expvar variable, and HTTP endpoint.
 type Registry struct {
-	mu      sync.Mutex
-	ranks   map[int]*CommMetrics
-	service *ServiceMetrics
+	mu       sync.Mutex
+	ranks    map[int]*CommMetrics
+	service  *ServiceMetrics
+	recovery *RecoveryMetrics
 }
 
 // NewRegistry returns an empty registry.
@@ -43,6 +44,15 @@ func (r *Registry) Register(m *CommMetrics) {
 func (r *Registry) RegisterService(s *ServiceMetrics) {
 	r.mu.Lock()
 	r.service = s
+	r.mu.Unlock()
+}
+
+// RegisterRecovery attaches a supervisor's recovery metrics; the snapshot
+// appears as the "recovery" section of WriteJSON and the expvar variable.
+// At most one is tracked; the latest call wins.
+func (r *Registry) RegisterRecovery(m *RecoveryMetrics) {
+	r.mu.Lock()
+	r.recovery = m
 	r.mu.Unlock()
 }
 
@@ -67,14 +77,20 @@ func (r *Registry) Snapshot() []CommSnapshot {
 func (r *Registry) snapshotAll() any {
 	r.mu.Lock()
 	svc := r.service
+	rec := r.recovery
 	r.mu.Unlock()
 	dump := struct {
-		Ranks   []CommSnapshot   `json:"ranks"`
-		Service *ServiceSnapshot `json:"service,omitempty"`
+		Ranks    []CommSnapshot    `json:"ranks"`
+		Service  *ServiceSnapshot  `json:"service,omitempty"`
+		Recovery *RecoverySnapshot `json:"recovery,omitempty"`
 	}{Ranks: r.Snapshot()}
 	if svc != nil {
 		s := svc.Snapshot()
 		dump.Service = &s
+	}
+	if rec != nil {
+		s := rec.Snapshot()
+		dump.Recovery = &s
 	}
 	return dump
 }

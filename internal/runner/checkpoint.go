@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/mp"
 )
@@ -75,6 +76,59 @@ func (cc CheckpointConfig) validate() error {
 	return nil
 }
 
+// RestoreReason classifies how a restore-enabled run chose its start tile.
+type RestoreReason int
+
+const (
+	// RestoreNotRequested: the run started without Checkpoint.Restore.
+	RestoreNotRequested RestoreReason = iota
+	// RestoreResumed: the run resumed from an agreed checkpoint boundary.
+	RestoreResumed
+	// RestoreFreshNoSnapshot: this rank had no snapshot files at all.
+	RestoreFreshNoSnapshot
+	// RestoreFreshAllCorrupt: snapshot files existed but every generation
+	// failed to load (CRC, geometry or truncation) — from-scratch fallback.
+	RestoreFreshAllCorrupt
+	// RestoreFreshPeerBehind: this rank had a usable snapshot but some peer
+	// proposed tile 0, so the AllReduce(min) forced a fresh start.
+	RestoreFreshPeerBehind
+)
+
+func (r RestoreReason) String() string {
+	switch r {
+	case RestoreNotRequested:
+		return "not-requested"
+	case RestoreResumed:
+		return "resumed"
+	case RestoreFreshNoSnapshot:
+		return "fresh-no-snapshot"
+	case RestoreFreshAllCorrupt:
+		return "fresh-all-corrupt"
+	case RestoreFreshPeerBehind:
+		return "fresh-peer-behind"
+	}
+	return fmt.Sprintf("RestoreReason(%d)", int(r))
+}
+
+// RestoreInfo reports how a restore-enabled run started; returned inside
+// Stats so a supervisor can account recovery cost without re-scanning disk.
+type RestoreInfo struct {
+	// Requested mirrors CheckpointConfig.Restore.
+	Requested bool
+	// Reason classifies the outcome; a fresh fallback is an outcome, not an
+	// error — only divergence (an agreed generation this rank cannot load)
+	// fails the run.
+	Reason RestoreReason
+	// StartTile is the first tile executed (0 = from scratch).
+	StartTile int64
+	// WastedTiles is the provable recomputation this restart causes for
+	// this rank: tiles it had already executed — witnessed by its own
+	// newest valid snapshot — at or beyond the agreed start. The true loss
+	// (progress past the last snapshot) is unknowable after a crash; this
+	// is the deterministic lower bound.
+	WastedTiles int64
+}
+
 // CheckpointFile returns the snapshot path for a rank at a tile boundary
 // (nextTile is the first tile NOT yet executed).
 func CheckpointFile(dir string, rank int, nextTile int64) string {
@@ -137,14 +191,71 @@ func writeCheckpoint(dir string, commSize int, cfg Config2D, l *Local2D, nextTil
 
 	path := CheckpointFile(dir, l.Rank, nextTile)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("runner: checkpoint create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return 0, fmt.Errorf("runner: checkpoint write: %w", err)
+	}
+	// The snapshot is a crash artifact by definition: its durability must
+	// not depend on the crash timing, so the data is synced before the
+	// rename and the directory after — otherwise a power cut could leave a
+	// valid-looking name pointing at unwritten blocks.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("runner: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("runner: checkpoint close: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("runner: checkpoint rename: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return 0, fmt.Errorf("runner: checkpoint dir sync: %w", err)
+	}
 	return int64(len(buf)), nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// removeOrphanTemps deletes this rank's leftover checkpoint temp files: a
+// crash between create and rename leaks one `.tmp` per attempt, and since
+// the temp name is derived from the target, retries at the same boundary
+// truncate it but differing boundaries accumulate forever. Called at run
+// start, when any temp bearing this rank's name is provably dead.
+func removeOrphanTemps(dir string, rank int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		// Sscanf reports success on the two integers even when the literal
+		// tail mismatches, so the .tmp suffix must be checked separately —
+		// otherwise finished checkpoints would match too.
+		if !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		var r int
+		var t int64
+		if n, _ := fmt.Sscanf(e.Name(), "ck-r%04d-t%08d.bin.tmp", &r, &t); n == 2 && r == rank {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // loadCheckpoint validates the snapshot at path against the run's geometry
@@ -194,53 +305,63 @@ func loadCheckpoint(path string, commSize int, cfg Config2D, l *Local2D) (int64,
 }
 
 // latestValid returns the newest snapshot boundary whose file actually
-// loads and matches the run's geometry (0 when none does). A corrupt
-// generation is skipped in favor of an older one; l is left holding the
-// winning snapshot's data (or untouched when there is none).
-func latestValid(dir string, commSize int, cfg Config2D, l *Local2D) int64 {
+// loads and matches the run's geometry (0 when none does) plus the typed
+// reason for a zero answer. A corrupt generation is skipped in favor of an
+// older one; l is left holding the winning snapshot's data (or untouched
+// when there is none).
+func latestValid(dir string, commSize int, cfg Config2D, l *Local2D) (int64, RestoreReason) {
 	tiles, err := checkpointTiles(dir, l.Rank)
-	if err != nil {
-		return 0
+	if err != nil || len(tiles) == 0 {
+		return 0, RestoreFreshNoSnapshot
 	}
 	for i := len(tiles) - 1; i >= 0; i-- {
 		t, err := loadCheckpoint(CheckpointFile(dir, l.Rank, tiles[i]), commSize, cfg, l)
 		if err == nil {
-			return t
+			return t, RestoreResumed
 		}
 	}
-	return 0
+	return 0, RestoreFreshAllCorrupt
 }
 
 // restore2D agrees on a global restart tile: every rank proposes its latest
 // valid snapshot boundary and the minimum wins, so the frontier is one
-// every rank can actually resume from. Returns the first tile to execute
-// (0 = fresh start), with l already holding the agreed snapshot if any.
-func restore2D(c mp.Comm, cfg Config2D, l *Local2D) (int64, error) {
-	mine := latestValid(cfg.Checkpoint.Dir, c.Size(), cfg, l)
+// every rank can actually resume from. A fresh start (no snapshot, all
+// generations corrupt, or a peer with nothing) is a typed outcome, not an
+// error; only divergence — an agreed generation this rank cannot load — is.
+// On return l holds the agreed snapshot's data (zeroed on a fresh start).
+func restore2D(c mp.Comm, cfg Config2D, l *Local2D) (RestoreInfo, error) {
+	info := RestoreInfo{Requested: true}
+	mine, reason := latestValid(cfg.Checkpoint.Dir, c.Size(), cfg, l)
 	agreed, err := mp.AllReduce(c, []float64{float64(mine)}, mp.OpMin)
 	if err != nil {
-		return 0, err
+		return info, err
 	}
 	start := int64(agreed[0])
 	if start <= 0 {
 		// Someone has nothing to resume from: fresh start. Discard any
-		// snapshot latestValid left in l.
+		// snapshot latestValid left in l. Everything this rank had proven
+		// done is recomputed from tile 0.
 		if mine > 0 {
 			for i := range l.Data {
 				l.Data[i] = 0
 			}
+			reason = RestoreFreshPeerBehind
+			info.WastedTiles = mine
 		}
-		return 0, nil
+		info.Reason = reason
+		return info, nil
 	}
+	info.Reason = RestoreResumed
+	info.StartTile = start
+	info.WastedTiles = mine - start
 	if start == mine {
-		return start, nil
+		return info, nil
 	}
 	// Roll back to the agreed (older) generation; it must load cleanly.
-	t, err := loadCheckpoint(CheckpointFile(cfg.Checkpoint.Dir, l.Rank, start), c.Size(), cfg, l)
-	if err != nil {
-		return 0, fmt.Errorf("runner: rank %d cannot load agreed checkpoint at tile %d: %w", l.Rank, start, err)
+	if _, err := loadCheckpoint(CheckpointFile(cfg.Checkpoint.Dir, l.Rank, start), c.Size(), cfg, l); err != nil {
+		return info, fmt.Errorf("runner: rank %d cannot load agreed checkpoint at tile %d: %w", l.Rank, start, err)
 	}
-	return t, nil
+	return info, nil
 }
 
 // maybeCheckpoint snapshots after tile t when t+1 lands on a configured

@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/mp"
 	"repro/internal/stencil"
@@ -235,4 +237,212 @@ func (f failingComm) Send(dst, tag int, data []byte) error {
 
 func (f failingComm) Isend(dst, tag int, data []byte) (mp.Request, error) {
 	return nil, errInjected{}
+}
+
+// TestCheckpointAllGenerationsCorruptTypedReason: when EVERY generation of
+// EVERY rank is corrupt, restore must fall back to a from-scratch run with
+// the typed RestoreFreshAllCorrupt reason — not an error — and still
+// produce the byte-identical grid.
+func TestCheckpointAllGenerationsCorruptTypedReason(t *testing.T) {
+	const n = 2
+	ref := checkpointAll2D(t, n, base2D(Blocking))
+	dir := t.TempDir()
+	cfg := base2D(Blocking)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+	if grid, _ := runAll2D(t, n, cfg); grid == nil {
+		t.Fatal("no grid")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "ck-") && strings.HasSuffix(e.Name(), ".bin") {
+			if err := os.Truncate(filepath.Join(dir, e.Name()), 20); err != nil {
+				t.Fatal(err)
+			}
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no snapshots to corrupt")
+	}
+	cfg.Checkpoint.Restore = true
+	restored, stats := runAll2D(t, n, cfg)
+	gridsByteIdentical(t, restored, ref)
+	full := base2D(Blocking).tiles1()
+	for rank, st := range stats {
+		if int64(st.Tiles) != full {
+			t.Errorf("rank %d computed %d tiles, want full %d (fresh start)", rank, st.Tiles, full)
+		}
+		ri := st.Restore
+		if !ri.Requested || ri.Reason != RestoreFreshAllCorrupt || ri.StartTile != 0 {
+			t.Errorf("rank %d restore info = %+v, want requested fresh-all-corrupt at tile 0", rank, ri)
+		}
+	}
+}
+
+// TestCheckpointRestoreReasonsAndWaste: the typed outcome and the provable
+// wasted-tile count across the three interesting shapes — a clean resume,
+// a rank rolled back past a corrupt newest generation, and a peer-forced
+// fresh start.
+func TestCheckpointRestoreReasonsAndWaste(t *testing.T) {
+	const n = 4
+	dir := t.TempDir()
+	cfg := base2D(Blocking)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+	if grid, _ := runAll2D(t, n, cfg); grid == nil {
+		t.Fatal("no grid")
+	}
+	tile, path, err := LatestCheckpoint(dir, 1)
+	if err != nil || tile == 0 {
+		t.Fatalf("no snapshot: tile=%d err=%v", tile, err)
+	}
+
+	// Clean resume: everyone restarts at the newest boundary, and the
+	// recomputation is exactly what the snapshots prove was already done —
+	// nothing, since every rank restarts at its own newest generation.
+	cfg.Checkpoint.Restore = true
+	_, stats := runAll2D(t, n, cfg)
+	for rank, st := range stats {
+		ri := st.Restore
+		if ri.Reason != RestoreResumed || ri.StartTile != tile || ri.WastedTiles != 0 {
+			t.Errorf("rank %d clean resume info = %+v, want resumed at %d with 0 wasted", rank, ri, tile)
+		}
+	}
+
+	// Corrupt rank 1's newest generation: the world rolls back one
+	// boundary, so every OTHER rank provably recomputes Every tiles.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats = runAll2D(t, n, cfg)
+	for rank, st := range stats {
+		ri := st.Restore
+		wantWaste := cfg.Checkpoint.Every
+		if rank == 1 {
+			wantWaste = 0 // its own newest valid IS the agreed boundary
+		}
+		if ri.Reason != RestoreResumed || ri.StartTile != tile-cfg.Checkpoint.Every || ri.WastedTiles != wantWaste {
+			t.Errorf("rank %d rollback info = %+v, want resumed at %d with %d wasted",
+				rank, ri, tile-cfg.Checkpoint.Every, wantWaste)
+		}
+	}
+
+	// Wipe rank 2 entirely: a peer with nothing forces tile 0 on everyone;
+	// survivors waste everything their snapshots had proven.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "ck-r0002-") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// (The rollback run above re-checkpointed, so every surviving rank's
+	// newest valid generation is the full boundary `tile` again.)
+	_, stats = runAll2D(t, n, cfg)
+	for rank, st := range stats {
+		ri := st.Restore
+		switch rank {
+		case 2:
+			if ri.Reason != RestoreFreshNoSnapshot || ri.WastedTiles != 0 {
+				t.Errorf("rank 2 info = %+v, want fresh-no-snapshot", ri)
+			}
+		default:
+			if ri.Reason != RestoreFreshPeerBehind || ri.WastedTiles != tile {
+				t.Errorf("rank %d info = %+v, want fresh-peer-behind wasting %d", rank, ri, tile)
+			}
+		}
+		if ri.StartTile != 0 {
+			t.Errorf("rank %d start tile %d, want 0", rank, ri.StartTile)
+		}
+	}
+}
+
+// TestCheckpointRestoreUnderFaultPlan: a fault plan active at restore time
+// (injected delivery delays riding the restore AllReduce and the resumed
+// tile traffic) must not break the agreement or the bit-exactness.
+func TestCheckpointRestoreUnderFaultPlan(t *testing.T) {
+	const n = 4
+	ref := checkpointAll2D(t, n, base2D(Overlapped))
+	dir := t.TempDir()
+	cfg := base2D(Overlapped)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+	if grid, _ := runAll2D(t, n, cfg); grid == nil {
+		t.Fatal("no grid")
+	}
+	cfg.Checkpoint.Restore = true
+	var mu sync.Mutex
+	var grid *stencil.Grid
+	stats := make([]Stats, n)
+	err := mp.Launch(n, func(c mp.Comm) error {
+		f := mp.WithFaults(c, 29)
+		f.DelayProb = 0.4
+		f.Delay = time.Millisecond
+		l, st, err := Run2D(f, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		stats[c.Rank()] = st
+		mu.Unlock()
+		g, err := Gather2D(f, cfg, l)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			grid = g
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridsByteIdentical(t, grid, ref)
+	for rank, st := range stats {
+		if st.Restore.Reason != RestoreResumed {
+			t.Errorf("rank %d under faults: restore reason %v, want resumed", rank, st.Restore.Reason)
+		}
+	}
+}
+
+// TestCheckpointOrphanTempCleanup: stale .tmp files left by a crash
+// mid-write are removed at the next run's start, and the cleanup must not
+// touch finished snapshots or other ranks' temps.
+func TestCheckpointOrphanTempCleanup(t *testing.T) {
+	const n = 2
+	dir := t.TempDir()
+	orphan0 := filepath.Join(dir, "ck-r0000-t00000099.bin.tmp")
+	orphan9 := filepath.Join(dir, "ck-r0009-t00000004.bin.tmp") // rank outside this world
+	for _, p := range []string{orphan0, orphan9} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := base2D(Blocking)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, Every: 2}
+	if grid, _ := runAll2D(t, n, cfg); grid == nil {
+		t.Fatal("no grid")
+	}
+	if _, err := os.Stat(orphan0); !os.IsNotExist(err) {
+		t.Errorf("rank 0's orphan temp survived the run (err=%v)", err)
+	}
+	if _, err := os.Stat(orphan9); err != nil {
+		t.Errorf("another rank's temp was removed: %v", err)
+	}
+	if tile, _, err := LatestCheckpoint(dir, 0); err != nil || tile == 0 {
+		t.Errorf("finished snapshots missing after cleanup: tile=%d err=%v", tile, err)
+	}
 }

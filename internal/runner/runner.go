@@ -52,6 +52,8 @@ type Stats struct {
 	// on-disk size (2-D executor only).
 	Checkpoints     int
 	CheckpointBytes int64
+	// Restore reports how a restore-enabled run started (2-D executor only).
+	Restore RestoreInfo
 }
 
 // Local is one rank's subdomain after a run.

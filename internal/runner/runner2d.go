@@ -131,15 +131,20 @@ func Run2D(c mp.Comm, cfg Config2D) (*Local2D, Stats, error) {
 		useWest: rank > 0,
 	}
 	r := &run2d{cfg: cfg, c: c, l: l}
+	if cfg.Checkpoint.Dir != "" {
+		removeOrphanTemps(cfg.Checkpoint.Dir, rank)
+	}
 	// Agree on a restart tile before any compute: the AllReduce inside
 	// restore2D doubles as the first synchronization point.
 	var startTile int64
 	if cfg.Checkpoint.Restore {
-		var err error
-		if startTile, err = restore2D(c, cfg, l); err != nil {
+		info, err := restore2D(c, cfg, l)
+		if err != nil {
 			abortComm(c, err)
 			return nil, Stats{}, fmt.Errorf("runner: rank %d restore: %w", rank, err)
 		}
+		r.stats.Restore = info
+		startTile = info.StartTile
 	}
 	if err := c.Barrier(); err != nil {
 		return nil, Stats{}, err
@@ -154,10 +159,12 @@ func Run2D(c mp.Comm, cfg Config2D) (*Local2D, Stats, error) {
 	}
 	if err != nil {
 		abortComm(c, err)
-		return nil, Stats{}, fmt.Errorf("runner: rank %d: %w", rank, err)
+		// Partial stats travel with the error: a supervisor accounting
+		// wasted work wants to know how far this attempt got.
+		return nil, r.stats, fmt.Errorf("runner: rank %d: %w", rank, err)
 	}
 	if err := c.Barrier(); err != nil {
-		return nil, Stats{}, err
+		return nil, r.stats, err
 	}
 	r.stats.Elapsed = time.Since(start) //tilevet:allow determinism -- wall-clock measurement, reporting only
 	return l, r.stats, nil

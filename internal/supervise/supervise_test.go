@@ -1,0 +1,254 @@
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProc is a scripted rank instance: it exits with err after delay, or
+// immediately when killed.
+type fakeProc struct {
+	delay time.Duration
+	err   error
+
+	once sync.Once
+	done chan struct{}
+}
+
+func newFakeProc(delay time.Duration, err error) *fakeProc {
+	return &fakeProc{delay: delay, err: err, done: make(chan struct{})}
+}
+
+func (p *fakeProc) Wait() error {
+	select {
+	case <-time.After(p.delay):
+		return p.err
+	case <-p.done:
+		return errors.New("killed")
+	}
+}
+
+func (p *fakeProc) Kill() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}
+
+// script builds a Launch function from a table: crashes[rank] lists, per
+// attempt, whether that rank fails (true) or runs clean. Missing entries
+// run clean. All launches are recorded.
+type script struct {
+	mu       sync.Mutex
+	crashes  map[int][]bool
+	launches []Spec
+	failErr  error
+}
+
+func (s *script) launch(sp Spec) (Proc, error) {
+	s.mu.Lock()
+	s.launches = append(s.launches, sp)
+	s.mu.Unlock()
+	plan := s.crashes[sp.Rank]
+	if sp.Attempt < len(plan) && plan[sp.Attempt] {
+		err := s.failErr
+		if err == nil {
+			err = fmt.Errorf("scripted crash (rank %d attempt %d)", sp.Rank, sp.Attempt)
+		}
+		// The crasher exits fast; clean peers take a bit longer, like
+		// survivors that need a heartbeat interval to notice.
+		return newFakeProc(time.Millisecond, err), nil
+	}
+	return newFakeProc(20*time.Millisecond, nil), nil
+}
+
+func (s *script) specs() []Spec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Spec(nil), s.launches...)
+}
+
+func TestRunCleanWorld(t *testing.T) {
+	s := &script{crashes: map[int][]bool{}}
+	res, err := Run(Config{Size: 3, Launch: s.launch, MaxRestarts: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 1 || len(res.Incidents) != 0 {
+		t.Fatalf("clean world: %d epochs, %d incidents", res.Epochs, len(res.Incidents))
+	}
+	for _, sp := range s.specs() {
+		if sp.Epoch != 1 || sp.Restore || sp.Attempt != 0 {
+			t.Fatalf("clean-world launch spec %+v", sp)
+		}
+	}
+}
+
+func TestRunRecoversWithEpochBumpAndRestore(t *testing.T) {
+	// Rank 1 crashes on attempts 0 and 1, then runs clean.
+	s := &script{crashes: map[int][]bool{1: {true, true, false}}}
+	var incidents []Incident
+	res, err := Run(Config{
+		Size: 3, Launch: s.launch, MaxRestarts: 2,
+		Backoff: time.Millisecond, Grace: 50 * time.Millisecond,
+		OnIncident: func(inc Incident) { incidents = append(incidents, inc) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 3 || len(res.Incidents) != 2 {
+		t.Fatalf("want 3 epochs / 2 incidents, got %d / %d", res.Epochs, len(res.Incidents))
+	}
+	if len(incidents) != 2 {
+		t.Fatalf("OnIncident saw %d incidents", len(incidents))
+	}
+	if res.RestartsPerRank[1] != 2 || res.RestartsPerRank[0] != 0 || res.RestartsPerRank[2] != 0 {
+		t.Fatalf("restart accounting: %v", res.RestartsPerRank)
+	}
+	for i, inc := range res.Incidents {
+		if inc.Victim != 1 {
+			t.Errorf("incident %d blamed rank %d, want 1", i, inc.Victim)
+		}
+		if inc.Epoch != uint32(i+1) {
+			t.Errorf("incident %d at epoch %d, want %d", i, inc.Epoch, i+1)
+		}
+		if inc.MTTR < inc.Restore || inc.Restore < inc.Backoff {
+			t.Errorf("incident %d latencies inconsistent: %+v", i, inc)
+		}
+	}
+	// Deterministic exponential backoff: 1ms then 2ms.
+	if res.Incidents[0].Backoff != time.Millisecond || res.Incidents[1].Backoff != 2*time.Millisecond {
+		t.Errorf("backoffs %v, %v — want 1ms, 2ms", res.Incidents[0].Backoff, res.Incidents[1].Backoff)
+	}
+	// Epochs bump every relaunch; restore is on from the first relaunch.
+	byAttempt := map[int][]Spec{}
+	for _, sp := range s.specs() {
+		byAttempt[sp.Attempt] = append(byAttempt[sp.Attempt], sp)
+	}
+	for attempt, sps := range byAttempt {
+		for _, sp := range sps {
+			if sp.Epoch != uint32(attempt+1) {
+				t.Errorf("attempt %d launched with epoch %d", attempt, sp.Epoch)
+			}
+			if sp.Restore != (attempt > 0) {
+				t.Errorf("attempt %d launched with restore=%v", attempt, sp.Restore)
+			}
+		}
+	}
+}
+
+func TestRunBudgetExhaustionTyped(t *testing.T) {
+	// Rank 2 always crashes; budget is 2 restarts.
+	s := &script{crashes: map[int][]bool{2: {true, true, true, true, true, true}}}
+	res, err := Run(Config{Size: 3, Launch: s.launch, MaxRestarts: 2, Backoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("persistently failing rank did not fail the run")
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("error %v does not match ErrBudgetExhausted", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Rank != 2 || be.Restarts != 2 {
+		t.Fatalf("budget error %#v, want rank 2 after 2 restarts", err)
+	}
+	// Budget of 2 restarts = 3 launches of the failing epoch.
+	if res.Epochs != 3 {
+		t.Fatalf("launched %d epochs before giving up, want 3", res.Epochs)
+	}
+}
+
+func TestRunDeadlineTyped(t *testing.T) {
+	// Every epoch crashes; generous budget, tight deadline: the run must
+	// fail with the typed deadline error, promptly.
+	s := &script{crashes: map[int][]bool{0: {true, true, true, true, true, true, true, true}}}
+	start := time.Now()
+	_, err := Run(Config{
+		Size: 2, Launch: s.launch, MaxRestarts: 100,
+		Backoff: 30 * time.Millisecond, Deadline: 80 * time.Millisecond,
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("error %v does not match ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline failure took %v", elapsed)
+	}
+}
+
+func TestRunZeroBudgetMeansFirstCrashTerminal(t *testing.T) {
+	s := &script{crashes: map[int][]bool{0: {true}}}
+	res, err := Run(Config{Size: 2, Launch: s.launch})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("error %v does not match ErrBudgetExhausted", err)
+	}
+	if res.Epochs != 1 {
+		t.Fatalf("zero budget launched %d epochs", res.Epochs)
+	}
+}
+
+func TestRunLaunchErrorTearsDownEpoch(t *testing.T) {
+	bad := errors.New("no such binary")
+	var launched []*fakeProc
+	var mu sync.Mutex
+	cfg := Config{
+		Size: 3,
+		Launch: func(sp Spec) (Proc, error) {
+			if sp.Rank == 2 {
+				return nil, bad
+			}
+			p := newFakeProc(time.Hour, nil) // would hang forever unless killed
+			mu.Lock()
+			launched = append(launched, p)
+			mu.Unlock()
+			return p, nil
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, bad) {
+			t.Fatalf("launch failure not propagated: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung on a failed launch")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(launched) != 2 {
+		t.Fatalf("launched %d ranks before the failure, want 2", len(launched))
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	base, ceil := 100*time.Millisecond, 400*time.Millisecond
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond}
+	for k, w := range want {
+		if got := backoffFor(base, ceil, k+1); got != w {
+			t.Errorf("backoffFor(k=%d) = %v, want %v", k+1, got, w)
+		}
+	}
+	if got := backoffFor(0, ceil, 3); got != 0 {
+		t.Errorf("zero base gave %v", got)
+	}
+}
+
+func TestClassifyVictimFallsBackToChronology(t *testing.T) {
+	// Crashed() only recognizes *exec.ExitError signal deaths, which a unit
+	// test cannot fabricate; with no crash-like exit the supervisor must
+	// blame the chronologically first failure. (The crash-preferred path is
+	// exercised end to end by the tilenode chaos drill.)
+	t0 := time.Now()
+	exits := []rankExit{
+		{rank: 2, err: errors.New("late"), at: t0.Add(time.Second)},
+		{rank: 1, err: errors.New("early"), at: t0},
+		{rank: 0, err: nil, at: t0.Add(2 * time.Second)},
+	}
+	if v := classifyVictim(exits); v.rank != 1 {
+		t.Fatalf("fallback blamed rank %d, want 1", v.rank)
+	}
+}
